@@ -1,0 +1,294 @@
+//! Online RL power/performance controller (extended from Tesauro et al.,
+//! "Managing Power Consumption and Performance of Computing Systems Using
+//! Reinforcement Learning", NIPS'07 — reference \[11\] of the paper).
+//!
+//! Per §II: the controller regulates CPU clock speed (throttling here) to
+//! keep each node's power "close to but not over" a **powercap** that
+//! itself follows a *simple random walk policy*; the reinforcement signal
+//! combines response time and power over each decision interval; the
+//! state is characterised by performance, power and load-intensity
+//! metrics. Learning is tabular Q over discretised (load, cap-gap) states
+//! with throttle levels as actions.
+//!
+//! Task grouping and node selection use the same strategy as every other
+//! scheduler in the comparison ([`common::dispatch_least_loaded`]).
+
+use crate::common::{self, SitePools};
+use crate::tabular::{bucketize, QTable};
+use platform::{Command, GroupFeedback, NodeAddr, PlatformView, Scheduler};
+use serde::{Deserialize, Serialize};
+use simcore::rng::RngStream;
+use simcore::time::SimTime;
+use std::collections::HashMap;
+use workload::{SiteId, Task};
+
+/// Throttle levels the controller can select.
+pub const THROTTLE_LEVELS: [f64; 4] = [0.8, 0.9, 0.95, 1.0];
+
+const LOAD_BUCKETS: usize = 5;
+const GAP_BUCKETS: usize = 3;
+
+/// Online-RL hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRlConfig {
+    /// Q-learning rate.
+    pub alpha: f64,
+    /// Discount factor.
+    pub gamma: f64,
+    /// Initial exploration probability.
+    pub epsilon0: f64,
+    /// Multiplicative ε decay per decision interval.
+    pub epsilon_decay: f64,
+    /// Exploration floor.
+    pub epsilon_floor: f64,
+    /// Initial per-processor powercap (watts).
+    pub powercap0: f64,
+    /// Random-walk step applied to the cap each interval (watts).
+    pub cap_step: f64,
+    /// Powercap clamp range (watts).
+    pub cap_range: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OnlineRlConfig {
+    fn default() -> Self {
+        OnlineRlConfig {
+            alpha: 0.1,
+            gamma: 0.6,
+            epsilon0: 0.15,
+            epsilon_decay: 0.99,
+            epsilon_floor: 0.02,
+            powercap0: 88.0,
+            cap_step: 1.0,
+            cap_range: (78.0, 95.0),
+            seed: 0x0717,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeCtl {
+    q: QTable,
+    powercap: f64,
+    /// `(state, action)` pending its interval cost.
+    last: Option<(usize, usize)>,
+    /// Node energy reading at the previous tick.
+    energy_prev: f64,
+    tick_prev: f64,
+    /// Response times of groups completed on this node this interval.
+    resp_sum: f64,
+    resp_n: u32,
+    action: usize,
+}
+
+impl NodeCtl {
+    fn new() -> Self {
+        NodeCtl {
+            q: QTable::new(LOAD_BUCKETS * GAP_BUCKETS, THROTTLE_LEVELS.len(), 0.0),
+            powercap: 0.0, // set on first tick from cfg
+            last: None,
+            energy_prev: 0.0,
+            tick_prev: 0.0,
+            resp_sum: 0.0,
+            resp_n: 0,
+            // [11]: "CPUs operate at the highest frequency under all
+            // workload conditions" until the controller throttles them.
+            action: 3,
+        }
+    }
+
+    fn state(&self, queue_len: usize, power_per_proc: f64) -> usize {
+        let load_b = bucketize(queue_len as f64, 0.0, 8.0, LOAD_BUCKETS);
+        // Gap to the cap: under / near / over.
+        let gap = power_per_proc - self.powercap;
+        let gap_b = bucketize(gap, -20.0, 10.0, GAP_BUCKETS);
+        load_b * GAP_BUCKETS + gap_b
+    }
+}
+
+/// The Online-RL baseline scheduler.
+pub struct OnlineRl {
+    cfg: OnlineRlConfig,
+    pools: SitePools,
+    nodes: HashMap<NodeAddr, NodeCtl>,
+    rng: RngStream,
+    epsilon: f64,
+    initialized: bool,
+}
+
+impl OnlineRl {
+    /// Creates the scheduler for `num_sites` sites.
+    pub fn new(num_sites: usize, cfg: OnlineRlConfig) -> Self {
+        OnlineRl {
+            pools: SitePools::new(num_sites),
+            nodes: HashMap::new(),
+            rng: RngStream::root(cfg.seed).derive("online-rl"),
+            epsilon: cfg.epsilon0,
+            initialized: false,
+            cfg,
+        }
+    }
+
+    /// Current exploration rate (diagnostics).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn ctl(&mut self, addr: NodeAddr, powercap0: f64) -> &mut NodeCtl {
+        self.nodes.entry(addr).or_insert_with(|| {
+            let mut c = NodeCtl::new();
+            c.powercap = powercap0;
+            c
+        })
+    }
+}
+
+impl Scheduler for OnlineRl {
+    fn name(&self) -> &str {
+        "Online RL"
+    }
+
+    fn on_arrivals(&mut self, _now: SimTime, site: SiteId, tasks: Vec<Task>) {
+        self.pools.buffer(site, tasks);
+    }
+
+    fn dispatch(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
+        let mut cmds = common::dispatch_least_loaded(&mut self.pools, view, now, common::MAX_HOLD);
+        if !self.initialized {
+            // Apply the conservative initial throttle everywhere once.
+            self.initialized = true;
+            for addr in view.node_addrs() {
+                let cap0 = self.cfg.powercap0;
+                let level = THROTTLE_LEVELS[self.ctl(addr, cap0).action];
+                cmds.push(Command::SetThrottle { node: addr, level });
+            }
+        }
+        cmds
+    }
+
+    fn on_group_complete(&mut self, _now: SimTime, fb: &GroupFeedback) {
+        let cap0 = self.cfg.powercap0;
+        let ctl = self.ctl(fb.node, cap0);
+        ctl.resp_sum += fb.completed_at.since(fb.enqueued_at).as_f64();
+        ctl.resp_n += 1;
+    }
+
+    fn on_tick(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        let cfg = self.cfg;
+        for addr in view.node_addrs() {
+            let nv = view.node(addr);
+            let energy_now = nv.energy();
+            let queue_len = nv.queue_len();
+            // Interval statistics.
+            let walk_up = self.rng.chance(0.5);
+            let explore = self.rng.chance(self.epsilon);
+            let explore_pick = self.rng.pick(THROTTLE_LEVELS.len());
+            let ctl = self.ctl(addr, cfg.powercap0);
+            let dt = now.as_f64() - ctl.tick_prev;
+            if dt <= 0.0 {
+                continue;
+            }
+            // Node energy is per-proc mean (Eq. 6): interval power per proc.
+            let power_per_proc = (energy_now - ctl.energy_prev) / dt;
+            let mean_resp = if ctl.resp_n > 0 {
+                ctl.resp_sum / f64::from(ctl.resp_n)
+            } else {
+                0.0
+            };
+            // Powercap random walk (the paper's "simple random walk policy").
+            ctl.powercap = (ctl.powercap + if walk_up { cfg.cap_step } else { -cfg.cap_step })
+                .clamp(cfg.cap_range.0, cfg.cap_range.1);
+            let state = ctl.state(queue_len, power_per_proc);
+            // Interval cost: response·power (both to be minimised), with a
+            // penalty for busting the cap.
+            let over_cap = (power_per_proc - ctl.powercap).max(0.0);
+            let cost = mean_resp * power_per_proc / 100.0 + over_cap;
+            if let Some((s, a)) = ctl.last {
+                ctl.q.update(s, a, cost, state, cfg.alpha, cfg.gamma);
+            }
+            // Choose the next throttle level.
+            let action = if over_cap > 0.0 {
+                // Cap enforcement: throttle down one level.
+                ctl.action.saturating_sub(1)
+            } else if explore {
+                explore_pick
+            } else {
+                ctl.q.best_action(state)
+            };
+            ctl.last = Some((state, action));
+            if action != ctl.action {
+                ctl.action = action;
+                cmds.push(Command::SetThrottle {
+                    node: addr,
+                    level: THROTTLE_LEVELS[action],
+                });
+            }
+            ctl.energy_prev = energy_now;
+            ctl.tick_prev = now.as_f64();
+            ctl.resp_sum = 0.0;
+            ctl.resp_n = 0;
+        }
+        self.epsilon = (self.epsilon * cfg.epsilon_decay).max(cfg.epsilon_floor);
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::{ExecConfig, ExecEngine, Platform, PlatformSpec};
+    use workload::{Workload, WorkloadSpec};
+
+    fn run(seed: u64, n: usize, iat: f64) -> platform::RunResult {
+        let rng = RngStream::root(seed);
+        let platform = Platform::generate(PlatformSpec::small(2, 3, 4), &rng.derive("p"));
+        let mut wspec = WorkloadSpec::paper(n, 2, platform.reference_speed());
+        wspec.mean_interarrival = iat;
+        let wl = Workload::generate(wspec, &rng.derive("w"));
+        let mut sched = OnlineRl::new(2, OnlineRlConfig::default());
+        ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched)
+    }
+
+    #[test]
+    fn completes_all_tasks() {
+        let r = run(1, 300, 1.0);
+        assert_eq!(r.incomplete, 0, "outcome {}", r.outcome);
+        assert_eq!(r.scheduler, "Online RL");
+    }
+
+    #[test]
+    fn controller_eventually_throttles_something() {
+        // Exploration and powercap enforcement must throttle at least one
+        // execution below nominal speed over a long run.
+        let r = run(2, 400, 1.0);
+        let any_stretched = r.records.iter().any(|rec| {
+            // At full speed a task on the *slowest* processor (500 MIPS)
+            // takes size/500; anything slower than that implies throttle.
+            rec.exec_time() > rec.size_mi / 500.0 * 1.01
+        });
+        assert!(any_stretched, "no execution was ever throttled");
+    }
+
+    #[test]
+    fn epsilon_decays_over_ticks() {
+        let rng = RngStream::root(3);
+        let platform = Platform::generate(PlatformSpec::small(1, 2, 4), &rng.derive("p"));
+        let mut wspec = WorkloadSpec::paper(200, 1, platform.reference_speed());
+        wspec.mean_interarrival = 1.0;
+        let wl = Workload::generate(wspec, &rng.derive("w"));
+        let mut sched = OnlineRl::new(1, OnlineRlConfig::default());
+        let e0 = sched.epsilon();
+        let _ = ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched);
+        assert!(sched.epsilon() < e0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(5, 150, 1.0);
+        let b = run(5, 150, 1.0);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_energy, b.total_energy);
+    }
+}

@@ -1,0 +1,41 @@
+//! Bench: the DESIGN.md §5 ablations of Adaptive-RL's design choices —
+//! shared memory, split process, forced merge policies, memory depth and
+//! the two feedback signals. The regenerated ablation table prints once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::figures::{ablation_table, ablation_variants};
+use experiments::{runner, Scenario, SchedulerKind};
+use std::hint::black_box;
+
+fn ablations(c: &mut Criterion) {
+    let rows = ablation_table(500, 0.95, 1, 9005);
+    eprintln!(
+        "\n{:<26} {:>10} {:>10} {:>9}",
+        "variant", "aveRT", "ECS(M)", "success"
+    );
+    for (label, rt, ec, sr) in &rows {
+        eprintln!("{label:<26} {rt:>10.2} {ec:>10.3} {sr:>9.3}");
+    }
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for variant in ablation_variants() {
+        let mut sc = Scenario::new(9005, 500, 0.95);
+        sc.exec.split_enabled = variant.split;
+        sc.exec.tick_interval = 1.0;
+        let kind = SchedulerKind::Adaptive(variant.cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label),
+            &(sc, kind),
+            |b, (sc, kind)| b.iter(|| black_box(runner::run_scenario(sc, kind).makespan)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = ablations
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: regenerate Figs. 11-12 (successful rate and energy vs resource
+//! heterogeneity for Adaptive-RL, heavy/light states).
+
+use arl_bench::bench_exp3;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::experiment3;
+use std::hint::black_box;
+
+fn fig11_fig12(c: &mut Criterion) {
+    let opts = bench_exp3();
+    let (fig11, fig12) = experiment3(&opts);
+    eprintln!("\n{}", fig11.render());
+    eprintln!("\n{}", fig12.render());
+    c.bench_function("fig11_fig12_heterogeneity", |b| {
+        b.iter(|| {
+            let (s, e) = experiment3(black_box(&opts));
+            black_box(s.series.len() + e.series.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig11_fig12
+}
+criterion_main!(benches);

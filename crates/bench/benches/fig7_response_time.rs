@@ -1,0 +1,26 @@
+//! Bench: regenerate Fig. 7 (average response time vs task count, four
+//! learning approaches). The regenerated rows print once before timing.
+
+use arl_bench::bench_exp1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::experiment1;
+use std::hint::black_box;
+
+fn fig7(c: &mut Criterion) {
+    let opts = bench_exp1();
+    let (fig7, _) = experiment1(&opts);
+    eprintln!("\n{}", fig7.render());
+    c.bench_function("fig7_response_time", |b| {
+        b.iter(|| {
+            let (fig7, _) = experiment1(black_box(&opts));
+            black_box(fig7.series.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: regenerate Fig. 8 (energy consumption vs task count, four
+//! learning approaches). The regenerated rows print once before timing.
+
+use arl_bench::bench_exp1;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::experiment1;
+use std::hint::black_box;
+
+fn fig8(c: &mut Criterion) {
+    let opts = bench_exp1();
+    let (_, fig8) = experiment1(&opts);
+    eprintln!("\n{}", fig8.render());
+    c.bench_function("fig8_energy", |b| {
+        b.iter(|| {
+            let (_, fig8) = experiment1(black_box(&opts));
+            black_box(fig8.series.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig8
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: regenerate Figs. 9-10 (utilisation vs learning cycles,
+//! Adaptive-RL vs Online RL, heavy/light states).
+
+use arl_bench::bench_exp2;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::experiment2;
+use std::hint::black_box;
+
+fn fig9_fig10(c: &mut Criterion) {
+    let opts = bench_exp2();
+    let (fig9, fig10) = experiment2(&opts);
+    eprintln!("\n{}", fig9.render());
+    eprintln!("\n{}", fig10.render());
+    c.bench_function("fig9_fig10_utilisation", |b| {
+        b.iter(|| {
+            let (a, l) = experiment2(black_box(&opts));
+            black_box(a.series.len() + l.series.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig9_fig10
+}
+criterion_main!(benches);

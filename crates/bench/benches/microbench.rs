@@ -1,0 +1,103 @@
+//! Microbenchmarks of the hot substrate paths: the event queue, the RNG
+//! streams, one full engine run per scheduler, and the value estimator.
+
+use adaptive_rl::{AdaptiveRl, AdaptiveRlConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::{runner, Scenario, SchedulerKind};
+use platform::{ExecConfig, ExecEngine, Platform, PlatformSpec};
+use simcore::rng::RngStream;
+use simcore::{EventQueue, SimTime};
+use std::hint::black_box;
+use workload::{Workload, WorkloadSpec};
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        let mut rng = RngStream::root(1);
+        let times: Vec<f64> = (0..10_000).map(|_| rng.uniform(0.0, 1000.0)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(times.len());
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::new(t), i as u32);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(u64::from(e.event));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn rng_streams(c: &mut Criterion) {
+    c.bench_function("rng_exponential_100k", |b| {
+        b.iter(|| {
+            let mut rng = RngStream::root(2).derive("bench");
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.exponential(5.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn engine_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run_500_tasks");
+    group.sample_size(10);
+    for kind in SchedulerKind::paper_four() {
+        let sc = Scenario::small(9006, 500, 0.9);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &(sc, kind),
+            |b, (sc, kind)| b.iter(|| black_box(runner::run_scenario(sc, kind).total_energy)),
+        );
+    }
+    group.finish();
+}
+
+fn scalability(c: &mut Criterion) {
+    // Events-per-second scaling with platform size: the engine must stay
+    // roughly linear in event count as sites multiply.
+    let mut group = c.benchmark_group("engine_scalability");
+    group.sample_size(10);
+    for sites in [1u32, 2, 4] {
+        let sc = {
+            let mut sc = Scenario::small(9008, 400, 0.8);
+            sc.platform = PlatformSpec::small(sites, 3, 4);
+            sc
+        };
+        let kind = SchedulerKind::Adaptive(Default::default());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sites}_sites")),
+            &(sc, kind),
+            |b, (sc, kind)| b.iter(|| black_box(runner::run_scenario(sc, kind).makespan)),
+        );
+    }
+    group.finish();
+}
+
+fn value_estimator(c: &mut Criterion) {
+    c.bench_function("adaptive_rl_full_learning_run", |b| {
+        let rng = RngStream::root(9007);
+        let platform = Platform::generate(PlatformSpec::small(2, 3, 4), &rng.derive("p"));
+        let mut wspec = WorkloadSpec::paper(300, 2, platform.reference_speed());
+        wspec.mean_interarrival = 0.5;
+        let wl = Workload::generate(wspec, &rng.derive("w"));
+        b.iter(|| {
+            let mut sched = AdaptiveRl::new(2, AdaptiveRlConfig::default());
+            let r = ExecEngine::new(ExecConfig::default()).run(
+                platform.clone(),
+                wl.tasks.clone(),
+                &mut sched,
+            );
+            black_box(r.makespan)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = event_queue, rng_streams, engine_run, scalability, value_estimator
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Shared configuration for the Criterion benches.
+//!
+//! Every bench regenerates (a bench-sized version of) one of the paper's
+//! figures and prints the resulting rows before timing, so `cargo bench`
+//! output doubles as a reproduction log. Full-scale figures come from the
+//! `arl-experiments` binaries (`cargo run -p arl-experiments --bin all`).
+
+use experiments::{Exp1Options, Exp2Options, Exp3Options, SchedulerKind};
+
+/// Experiment-1 options sized for a timed bench iteration.
+pub fn bench_exp1() -> Exp1Options {
+    Exp1Options {
+        task_counts: vec![300, 900],
+        reps: 1,
+        seed: 9001,
+        ..Exp1Options::default()
+    }
+}
+
+/// Experiment-2 options sized for a timed bench iteration.
+pub fn bench_exp2() -> Exp2Options {
+    Exp2Options {
+        heavy_tasks: 700,
+        heavy_offered: 1.05,
+        light_tasks: 200,
+        light_offered: 0.65,
+        reps: 1,
+        seed: 9002,
+    }
+}
+
+/// Experiment-3 options sized for a timed bench iteration.
+pub fn bench_exp3() -> Exp3Options {
+    Exp3Options {
+        heterogeneity: vec![0.1, 0.5, 0.9],
+        heavy: (700, 0.95),
+        light: (200, 0.5),
+        reps: 1,
+        seed: 9003,
+    }
+}
+
+/// The four §V.A policies with bench seeds.
+pub fn bench_schedulers() -> Vec<SchedulerKind> {
+    SchedulerKind::paper_four()
+}

@@ -1,0 +1,190 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Grammar: `arls <command> [<subcommand>] [positional…] [--flag [value]]`.
+//! Flags may appear anywhere after the command; `--flag` without a
+//! following value (or followed by another `--flag`) is boolean.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// Positional arguments in order (command word(s) included).
+    pub positional: Vec<String>,
+    /// `--flag [value]` pairs; boolean flags map to an empty string.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing and validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag value could not be parsed as the requested type.
+    BadValue {
+        /// Flag name (without dashes).
+        flag: String,
+        /// The offending raw value.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+    /// A required flag is missing.
+    Missing(
+        /// Flag name (without dashes).
+        String,
+    ),
+    /// An unknown enumeration value.
+    UnknownChoice {
+        /// Flag name.
+        flag: String,
+        /// Offending value.
+        value: String,
+        /// Accepted values.
+        choices: &'static str,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "--{flag}: expected {expected}, got {value:?}")
+            }
+            ArgError::Missing(flag) => write!(f, "missing required --{flag}"),
+            ArgError::UnknownChoice {
+                flag,
+                value,
+                choices,
+            } => {
+                write!(f, "--{flag}: unknown value {value:?} (choices: {choices})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name).
+    pub fn parse<I, S>(raw: I) -> Args
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().map(Into::into).peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                args.flags.insert(name.to_string(), value);
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        args
+    }
+
+    /// The command word (first positional), if any.
+    pub fn command(&self) -> Option<&str> {
+        self.positional.first().map(String::as_str)
+    }
+
+    /// The subcommand word (second positional), if any.
+    pub fn subcommand(&self) -> Option<&str> {
+        self.positional.get(1).map(String::as_str)
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.flags.contains_key(flag)
+    }
+
+    /// Raw string flag value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.get(flag)
+            .ok_or_else(|| ArgError::Missing(flag.to_string()))
+    }
+
+    /// Optional typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_positionals_and_flags() {
+        let a = Args::parse(["simulate", "--tasks", "500", "--gating", "--seed", "7"]);
+        assert_eq!(a.command(), Some("simulate"));
+        assert_eq!(a.get("tasks"), Some("500"));
+        assert!(a.has("gating"));
+        assert_eq!(a.get("gating"), Some(""));
+        assert_eq!(a.get_or("seed", 0u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn boolean_flag_before_another_flag() {
+        let a = Args::parse(["x", "--quick", "--out", "file.bin"]);
+        assert!(a.has("quick"));
+        assert_eq!(a.get("out"), Some("file.bin"));
+    }
+
+    #[test]
+    fn subcommand_and_positional_paths() {
+        let a = Args::parse(["trace", "run", "trace.bin", "--scheduler", "adaptive"]);
+        assert_eq!(a.command(), Some("trace"));
+        assert_eq!(a.subcommand(), Some("run"));
+        assert_eq!(a.positional.get(2).map(String::as_str), Some("trace.bin"));
+    }
+
+    #[test]
+    fn typed_defaults_and_errors() {
+        let a = Args::parse(["x", "--n", "abc"]);
+        assert!(matches!(
+            a.get_or("n", 1u32),
+            Err(ArgError::BadValue { .. })
+        ));
+        assert_eq!(a.get_or("missing", 9u32).unwrap(), 9);
+        assert!(matches!(a.require("nope"), Err(ArgError::Missing(_))));
+    }
+
+    #[test]
+    fn error_display_is_readable() {
+        let e = ArgError::UnknownChoice {
+            flag: "scheduler".into(),
+            value: "alien".into(),
+            choices: "adaptive, online",
+        };
+        let s = e.to_string();
+        assert!(s.contains("scheduler") && s.contains("alien"));
+    }
+
+    #[test]
+    fn empty_input_is_benign() {
+        let a = Args::parse(Vec::<String>::new());
+        assert_eq!(a.command(), None);
+        assert!(!a.has("anything"));
+    }
+}

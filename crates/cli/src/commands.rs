@@ -1,0 +1,369 @@
+//! Command implementations. Each returns its output as a `String` so the
+//! commands are unit-testable; the binary prints them.
+
+use crate::args::{ArgError, Args};
+use crate::select::scheduler_from;
+use experiments::{runner, Scenario, SchedulerKind};
+use metrics::RunSummary;
+use platform::{ExecEngine, PlatformSpec, RunResult};
+use workload::{load_trace, save_trace, Task, WorkloadProfile};
+
+/// Errors a command can produce.
+#[derive(Debug)]
+pub enum CmdError {
+    /// Bad command-line arguments.
+    Args(ArgError),
+    /// File or trace-format problems.
+    Io(std::io::Error),
+    /// Anything else worth reporting verbatim.
+    Other(String),
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Args(e) => write!(f, "{e}"),
+            CmdError::Io(e) => write!(f, "{e}"),
+            CmdError::Other(m) => f.write_str(m),
+        }
+    }
+}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError::Io(e)
+    }
+}
+
+fn scenario_from(args: &Args) -> Result<Scenario, CmdError> {
+    let tasks = args.get_or("tasks", 1000usize)?;
+    let offered = args.get_or("offered", 0.8f64)?;
+    let seed = args.get_or("seed", 2011u64)?;
+    if !offered.is_finite() || offered <= 0.0 {
+        return Err(CmdError::Other("--offered must be positive".into()));
+    }
+    let mut sc = Scenario::new(seed, tasks, offered);
+    if let Some(sites) = args.get("sites") {
+        let sites: u32 = sites.parse().map_err(|_| {
+            CmdError::Args(ArgError::BadValue {
+                flag: "sites".into(),
+                value: sites.into(),
+                expected: "u32",
+            })
+        })?;
+        if sites == 0 {
+            return Err(CmdError::Other("--sites must be at least 1".into()));
+        }
+        sc.platform = PlatformSpec {
+            num_sites: sites,
+            ..Scenario::experiment_platform()
+        };
+    }
+    if args.has("no-split") {
+        sc.exec.split_enabled = false;
+    }
+    Ok(sc)
+}
+
+fn summary_block(r: &RunResult) -> String {
+    let s = RunSummary::from_run(r);
+    let mut out = String::new();
+    out.push_str(&RunSummary::header());
+    out.push('\n');
+    out.push_str(&s.row());
+    out.push('\n');
+    out.push_str(&format!(
+        "p50/p95 response: {:.2} / {:.2} | groups: {} | split starts: {} | rejections: {}\n",
+        s.response_p50, s.response_p95, r.groups_dispatched, r.split_starts, r.rejections
+    ));
+    if r.incomplete > 0 {
+        out.push_str(&format!(
+            "WARNING: {} tasks never completed\n",
+            r.incomplete
+        ));
+    }
+    out
+}
+
+/// `arls simulate`.
+pub fn simulate(args: &Args) -> Result<String, CmdError> {
+    let sc = scenario_from(args)?;
+    let kind = scheduler_from(args)?;
+    let r = runner::run_scenario(&sc, &kind);
+    let mut out = String::new();
+    let platform = sc.build_platform();
+    out.push_str(&format!(
+        "scenario: {} tasks at offered load {:.2} on {} sites / {} nodes / {} processors (seed {})\n\n",
+        sc.num_tasks,
+        sc.offered_load,
+        platform.num_sites(),
+        platform.num_nodes(),
+        platform.num_processors(),
+        sc.seed
+    ));
+    out.push_str(&summary_block(&r));
+    if args.has("csv") {
+        out.push_str("\ntask,site,node,arrival,started,finished,deadline,met\n");
+        for rec in &r.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                rec.task.0,
+                rec.site.0,
+                rec.node,
+                rec.arrival,
+                rec.started,
+                rec.finished,
+                rec.deadline,
+                rec.met
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `arls compare`.
+pub fn compare(args: &Args) -> Result<String, CmdError> {
+    let sc = scenario_from(args)?;
+    let mut kinds = SchedulerKind::paper_four();
+    if args.has("references") {
+        kinds.push(SchedulerKind::RoundRobin);
+        kinds.push(SchedulerKind::GreedyEdf);
+    }
+    let mut out = String::new();
+    out.push_str(&RunSummary::header());
+    out.push('\n');
+    for kind in kinds {
+        let r = runner::run_scenario(&sc, &kind);
+        out.push_str(&RunSummary::from_run(&r).row());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `arls trace generate|show|run`.
+pub fn trace(args: &Args) -> Result<String, CmdError> {
+    match args.subcommand() {
+        Some("generate") => {
+            let sc = scenario_from(args)?;
+            let out_path = args.require("out")?;
+            let (_, tasks) = sc.build();
+            save_trace(out_path, &tasks)?;
+            Ok(format!("wrote {} tasks to {out_path}\n", tasks.len()))
+        }
+        Some("show") => {
+            let path = args
+                .positional
+                .get(2)
+                .ok_or_else(|| CmdError::Other("usage: arls trace show PATH".into()))?;
+            let tasks = load_trace(path)?;
+            Ok(profile_block(path, &tasks))
+        }
+        Some("run") => {
+            let path = args
+                .positional
+                .get(2)
+                .ok_or_else(|| CmdError::Other("usage: arls trace run PATH".into()))?;
+            let tasks = load_trace(path)?;
+            if tasks.is_empty() {
+                return Err(CmdError::Other("trace is empty".into()));
+            }
+            let kind = scheduler_from(args)?;
+            let seed = args.get_or("seed", 2011u64)?;
+            // The platform must span every site the trace references.
+            let max_site = tasks.iter().map(|t| t.site.0).max().unwrap_or(0);
+            let mut sc = Scenario::new(seed, tasks.len(), 1.0);
+            sc.platform.num_sites = sc.platform.num_sites.max(max_site + 1);
+            let platform = sc.build_platform();
+            let engine = ExecEngine::new(sc.exec);
+            let r = run_trace(&engine, platform, tasks, &kind);
+            Ok(summary_block(&r))
+        }
+        _ => Err(CmdError::Other(
+            "usage: arls trace <generate|show|run> …".into(),
+        )),
+    }
+}
+
+fn run_trace(
+    engine: &ExecEngine,
+    platform: platform::Platform,
+    tasks: Vec<Task>,
+    kind: &SchedulerKind,
+) -> RunResult {
+    use adaptive_rl::AdaptiveRl;
+    use baselines::{GreedyEdf, OnlineRl, PredictionBased, QPlusLearning, RoundRobin};
+    let sites = platform.num_sites();
+    match kind.clone() {
+        SchedulerKind::Adaptive(cfg) => {
+            let mut s = AdaptiveRl::new(sites, cfg);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::Online(cfg) => {
+            let mut s = OnlineRl::new(sites, cfg);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::QPlus(cfg) => {
+            let mut s = QPlusLearning::new(sites, cfg);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::Prediction(cfg) => {
+            let mut s = PredictionBased::new(sites, cfg);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::RoundRobin => {
+            let mut s = RoundRobin::new(sites);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::GreedyEdf => {
+            let mut s = GreedyEdf::new(sites);
+            engine.run(platform, tasks, &mut s)
+        }
+    }
+}
+
+fn profile_block(path: &str, tasks: &[Task]) -> String {
+    let p = WorkloadProfile::from_tasks(tasks);
+    let mut out = String::new();
+    out.push_str(&format!("trace: {path}\n"));
+    out.push_str(&format!("tasks: {}\n", p.total()));
+    out.push_str(&format!(
+        "priorities: low {} / medium {} / high {}\n",
+        p.count_by_priority[0], p.count_by_priority[1], p.count_by_priority[2]
+    ));
+    out.push_str(&format!(
+        "size (MI): mean {:.0}, min {:.0}, max {:.0}\n",
+        p.size_mi.mean(),
+        p.size_mi.min().unwrap_or(0.0),
+        p.size_mi.max().unwrap_or(0.0)
+    ));
+    out.push_str(&format!(
+        "inter-arrival: mean {:.4} (offered ≈ {:.0} MIPS)\n",
+        p.interarrival.mean(),
+        p.offered_load_mips()
+    ));
+    out.push_str(&format!(
+        "deadline window: mean {:.2}, max {:.2}\n",
+        p.deadline_window.mean(),
+        p.deadline_window.max().unwrap_or(0.0)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &[&str]) -> Args {
+        Args::parse(line.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn simulate_produces_a_summary() {
+        let out = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "120",
+            "--offered",
+            "0.6",
+            "--seed",
+            "3",
+        ]))
+        .expect("simulate");
+        assert!(out.contains("Adaptive-RL"));
+        assert!(out.contains("aveRT"));
+        assert!(!out.contains("WARNING"));
+    }
+
+    #[test]
+    fn simulate_csv_dumps_records() {
+        let out = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "40",
+            "--offered",
+            "0.6",
+            "--seed",
+            "3",
+            "--csv",
+        ]))
+        .expect("simulate");
+        assert!(out.contains("task,site,node"));
+        assert!(out.lines().count() > 40);
+    }
+
+    #[test]
+    fn compare_lists_all_four() {
+        let out = compare(&parse(&[
+            "compare",
+            "--tasks",
+            "100",
+            "--offered",
+            "0.7",
+            "--seed",
+            "5",
+        ]))
+        .expect("compare");
+        for name in [
+            "Adaptive-RL",
+            "Online RL",
+            "Q+ learning",
+            "Prediction-based learning",
+        ] {
+            assert!(out.contains(name), "missing {name} in {out}");
+        }
+        assert!(!out.contains("Round-robin"));
+        let with_refs = compare(&parse(&[
+            "compare",
+            "--tasks",
+            "100",
+            "--offered",
+            "0.7",
+            "--seed",
+            "5",
+            "--references",
+        ]))
+        .expect("compare");
+        assert!(with_refs.contains("Round-robin"));
+        assert!(with_refs.contains("Greedy EDF"));
+    }
+
+    #[test]
+    fn trace_round_trip_through_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("arls_cli_trace_test.bin");
+        let path_str = path.to_str().unwrap().to_string();
+        let gen = trace(&parse(&[
+            "trace", "generate", "--tasks", "60", "--seed", "9", "--out", &path_str,
+        ]))
+        .expect("generate");
+        assert!(gen.contains("60 tasks"));
+        let show = trace(&parse(&["trace", "show", &path_str])).expect("show");
+        assert!(show.contains("tasks: 60"));
+        let run = trace(&parse(&[
+            "trace",
+            "run",
+            &path_str,
+            "--scheduler",
+            "greedy",
+        ]))
+        .expect("run");
+        assert!(run.contains("Greedy EDF"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_inputs_are_reported_not_panicked() {
+        assert!(simulate(&parse(&["simulate", "--offered", "0"])).is_err());
+        assert!(simulate(&parse(&["simulate", "--tasks", "zebra"])).is_err());
+        assert!(trace(&parse(&["trace"])).is_err());
+        assert!(trace(&parse(&["trace", "show", "/definitely/not/here.bin"])).is_err());
+        assert!(simulate(&parse(&["simulate", "--scheduler", "alien"])).is_err());
+        assert!(simulate(&parse(&["simulate", "--sites", "0"])).is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Library half of the `arls` command-line tool.
+//!
+//! Everything the binary does is exposed as testable functions: argument
+//! parsing ([`args`]), scheduler selection ([`select`]) and the command
+//! implementations ([`commands`]). The `arls` binary itself is a thin
+//! dispatcher.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod select;
+
+pub use args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+arls — Adaptive-RL energy-aware scheduling simulator
+
+USAGE:
+  arls simulate [--scheduler S] [--tasks N] [--offered F] [--seed N]
+                [--sites N] [--no-split] [--gating] [--csv]
+      run one scenario and print the run summary
+      schedulers: adaptive (default), online, qplus, prediction, rr, greedy
+
+  arls compare  [--tasks N] [--offered F] [--seed N] [--references]
+      run every scheduler on the same scenario and print a comparison table
+
+  arls trace generate --out PATH [--tasks N] [--offered F] [--seed N]
+      generate a workload and save it as a binary trace
+
+  arls trace show PATH
+      print a profile summary of a trace file
+
+  arls trace run PATH [--scheduler S] [--seed N]
+      replay a trace file through a scheduler
+
+  arls settings
+      print the paper-vs-reproduction experiment settings table
+
+  arls help
+      this text
+
+Figures and reproduction checks live in the arl-experiments binaries:
+  cargo run --release -p arl-experiments --bin {fig7..fig12,all,ablation,validate}
+";

@@ -1,0 +1,72 @@
+//! The learning value (Eq. 7) and its normalised training target.
+//!
+//! §IV.B: "each action incorporates with a learning value
+//! `l_val = reward / error`", where the reward counts deadline hits
+//! (Eq. 8) and the error measures the pw-to-capacity mismatch (Eq. 9).
+//! A null error is explicitly favourable, so the raw ratio is unbounded;
+//! we floor the denominator and additionally expose a squashed target in
+//! `[0, 1]` for the neural estimator.
+
+/// Eq. (7): `l_val = reward / max(error, floor)`.
+///
+/// # Panics
+/// Panics if `floor` is not strictly positive.
+pub fn learning_value(reward: u32, error: f64, floor: f64) -> f64 {
+    assert!(floor > 0.0, "error floor must be positive");
+    f64::from(reward) / error.max(floor)
+}
+
+/// Bounded training target for the value network: the deadline-hit
+/// fraction discounted by the assignment error,
+/// `(reward / size) / (1 + error) ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics if `size == 0` or `error < 0`.
+pub fn value_target(reward: u32, size: usize, error: f64) -> f64 {
+    assert!(size > 0, "group size must be positive");
+    assert!(error >= 0.0, "error must be non-negative");
+    (f64::from(reward) / size as f64) / (1.0 + error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lval_rises_with_reward_and_falls_with_error() {
+        assert!(learning_value(4, 0.5, 0.05) > learning_value(2, 0.5, 0.05));
+        assert!(learning_value(4, 0.1, 0.05) > learning_value(4, 0.5, 0.05));
+    }
+
+    #[test]
+    fn null_error_is_floored_not_infinite() {
+        let v = learning_value(3, 0.0, 0.05);
+        assert!(v.is_finite());
+        assert_eq!(v, 60.0);
+    }
+
+    #[test]
+    fn target_is_bounded() {
+        for reward in 0..=4u32 {
+            for &err in &[0.0, 0.3, 2.0, 50.0] {
+                let t = value_target(reward, 4, err);
+                assert!((0.0..=1.0).contains(&t), "target {t}");
+            }
+        }
+        assert_eq!(value_target(4, 4, 0.0), 1.0);
+        assert_eq!(value_target(0, 4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn target_orders_like_lval() {
+        // Better reward and lower error both raise the target.
+        assert!(value_target(4, 4, 0.1) > value_target(2, 4, 0.1));
+        assert!(value_target(4, 4, 0.1) > value_target(4, 4, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "floor must be positive")]
+    fn zero_floor_rejected() {
+        let _ = learning_value(1, 0.1, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The merge half of the adaptive TG technique (§IV.D.1).
+//!
+//! Given the agent's pending pool and the chosen [`ActionChoice`], forms
+//! task groups:
+//!
+//! * **Mixed-priority** — pending tasks EDF-sorted then chunked into groups
+//!   of `opnum`; everything (including a final partial chunk) is released
+//!   immediately ("since tasks are merged into a group as they arrive,
+//!   there is no delay in grouping decisions"),
+//! * **Identical-priority** — tasks partitioned by class, EDF-sorted,
+//!   chunked into groups of `opnum`; a final *partial* chunk is held back
+//!   until it either fills up or its oldest member has waited `flush_age`
+//!   (the paper notes this policy's accuracy comes at the price of
+//!   possible grouping delays).
+//!
+//! The split half of the TG technique lives in the platform engine.
+
+use crate::action::{ActionChoice, PolicyKind};
+use platform::GroupPolicy;
+use simcore::time::SimTime;
+use workload::{Priority, Task};
+
+/// A formed group ready to dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedGroup {
+    /// Member tasks (EDF order).
+    pub tasks: Vec<Task>,
+    /// The policy tag carried to the platform.
+    pub policy: GroupPolicy,
+}
+
+/// Forms groups from `pending` under `action`, removing the grouped tasks
+/// from `pending`. Tasks left in `pending` were held back by the
+/// identical-priority partial-chunk rule.
+pub fn merge(
+    pending: &mut Vec<Task>,
+    action: ActionChoice,
+    now: SimTime,
+    flush_age: f64,
+) -> Vec<MergedGroup> {
+    debug_assert!(action.opnum > 0, "opnum must be positive");
+    if pending.is_empty() {
+        return Vec::new();
+    }
+    match action.policy {
+        PolicyKind::Mixed => {
+            let mut tasks = std::mem::take(pending);
+            tasks.sort_by(|a, b| a.deadline.cmp(&b.deadline).then(a.id.cmp(&b.id)));
+            tasks
+                .chunks(action.opnum)
+                .map(|chunk| MergedGroup {
+                    tasks: chunk.to_vec(),
+                    policy: GroupPolicy::Mixed,
+                })
+                .collect()
+        }
+        PolicyKind::Identical => {
+            let mut out = Vec::new();
+            let mut kept = Vec::new();
+            for prio in Priority::ALL {
+                let mut class: Vec<Task> = pending
+                    .iter()
+                    .filter(|t| t.priority == prio)
+                    .cloned()
+                    .collect();
+                if class.is_empty() {
+                    continue;
+                }
+                class.sort_by(|a, b| a.deadline.cmp(&b.deadline).then(a.id.cmp(&b.id)));
+                let mut iter = class.chunks(action.opnum).peekable();
+                while let Some(chunk) = iter.next() {
+                    let is_partial = chunk.len() < action.opnum && iter.peek().is_none();
+                    if is_partial {
+                        let oldest_wait = chunk
+                            .iter()
+                            .map(|t| now.since(t.arrival).as_f64())
+                            .fold(0.0, f64::max);
+                        if oldest_wait < flush_age {
+                            kept.extend_from_slice(chunk);
+                            continue;
+                        }
+                    }
+                    out.push(MergedGroup {
+                        tasks: chunk.to_vec(),
+                        policy: GroupPolicy::Identical(prio),
+                    });
+                }
+            }
+            *pending = kept;
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{SiteId, TaskId};
+
+    fn task(id: u64, arrival: f64, deadline: f64, prio: Priority) -> Task {
+        Task {
+            id: TaskId(id),
+            size_mi: 1000.0,
+            arrival: SimTime::new(arrival),
+            deadline: SimTime::new(deadline),
+            priority: prio,
+            site: SiteId(0),
+        }
+    }
+
+    fn mixed(opnum: usize) -> ActionChoice {
+        ActionChoice {
+            policy: PolicyKind::Mixed,
+            opnum,
+        }
+    }
+
+    fn identical(opnum: usize) -> ActionChoice {
+        ActionChoice {
+            policy: PolicyKind::Identical,
+            opnum,
+        }
+    }
+
+    #[test]
+    fn mixed_merge_releases_everything_edf_sorted() {
+        let mut pending = vec![
+            task(1, 0.0, 30.0, Priority::Low),
+            task(2, 0.0, 10.0, Priority::High),
+            task(3, 0.0, 20.0, Priority::Medium),
+            task(4, 0.0, 5.0, Priority::High),
+            task(5, 0.0, 25.0, Priority::Low),
+        ];
+        let groups = merge(&mut pending, mixed(2), SimTime::new(1.0), 10.0);
+        assert!(pending.is_empty(), "mixed merge has no grouping delay");
+        assert_eq!(groups.len(), 3);
+        // Global EDF order chunked: [4,2], [3,5], [1].
+        let ids: Vec<Vec<u64>> = groups
+            .iter()
+            .map(|g| g.tasks.iter().map(|t| t.id.0).collect())
+            .collect();
+        assert_eq!(ids, vec![vec![4, 2], vec![3, 5], vec![1]]);
+        assert!(groups.iter().all(|g| g.policy == GroupPolicy::Mixed));
+    }
+
+    #[test]
+    fn identical_merge_partitions_by_class() {
+        let mut pending = vec![
+            task(1, 0.0, 30.0, Priority::Low),
+            task(2, 0.0, 10.0, Priority::High),
+            task(3, 0.0, 20.0, Priority::High),
+            task(4, 0.0, 5.0, Priority::Low),
+        ];
+        // opnum 2, both classes form exactly one full group each.
+        let groups = merge(&mut pending, identical(2), SimTime::new(1.0), 10.0);
+        assert!(pending.is_empty());
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            match g.policy {
+                GroupPolicy::Identical(p) => assert!(g.tasks.iter().all(|t| t.priority == p)),
+                GroupPolicy::Mixed => panic!("unexpected mixed group"),
+            }
+        }
+    }
+
+    #[test]
+    fn identical_partial_chunks_are_held_until_flush_age() {
+        let mut pending = vec![
+            task(1, 0.0, 10.0, Priority::High),
+            task(2, 0.0, 12.0, Priority::High),
+            task(3, 0.0, 14.0, Priority::High),
+        ];
+        // opnum 2: one full group, one partial of 1 held (age 1 < 10).
+        let groups = merge(&mut pending, identical(2), SimTime::new(1.0), 10.0);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].id.0, 3);
+        // At age 20 the straggler flushes.
+        let groups2 = merge(&mut pending, identical(2), SimTime::new(20.0), 10.0);
+        assert_eq!(groups2.len(), 1);
+        assert_eq!(groups2[0].tasks.len(), 1);
+        assert!(pending.is_empty());
+    }
+
+    #[test]
+    fn empty_pending_yields_nothing() {
+        let mut pending = Vec::new();
+        assert!(merge(&mut pending, mixed(4), SimTime::ZERO, 10.0).is_empty());
+    }
+
+    #[test]
+    fn opnum_one_degenerates_to_singletons() {
+        let mut pending = vec![
+            task(1, 0.0, 10.0, Priority::High),
+            task(2, 0.0, 5.0, Priority::Low),
+        ];
+        let groups = merge(&mut pending, mixed(1), SimTime::ZERO, 10.0);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.tasks.len() == 1));
+        // EDF across the pool: task 2 first.
+        assert_eq!(groups[0].tasks[0].id.0, 2);
+    }
+
+    #[test]
+    fn grouped_plus_kept_equals_input() {
+        let mut pending: Vec<Task> = (0..17)
+            .map(|i| {
+                let prio = match i % 3 {
+                    0 => Priority::Low,
+                    1 => Priority::Medium,
+                    _ => Priority::High,
+                };
+                task(i, 0.0, 10.0 + i as f64, prio)
+            })
+            .collect();
+        let before = pending.len();
+        let groups = merge(&mut pending, identical(4), SimTime::new(2.0), 10.0);
+        let grouped: usize = groups.iter().map(|g| g.tasks.len()).sum();
+        assert_eq!(
+            grouped + pending.len(),
+            before,
+            "no task lost or duplicated"
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! **Adaptive-RL** — the paper's contribution: a dynamic, energy-aware
+//! scheduler for heterogeneous PDCSs built on adaptive reinforcement
+//! learning and an adaptive task-grouping (TG) technique.
+//!
+//! One agent resides at each resource site (§III.B). At every decision
+//! point an agent:
+//!
+//! 1. observes the state `S_c(t) = (Load, q⁻, {PP_1…m})` of its nodes,
+//! 2. chooses an **action** — a grouping decision (mixed- or
+//!    identical-priority merge, and the group size `opnum`) — by ε-greedy
+//!    exploration over a neural value estimator (§IV.B, built on the
+//!    framework of \[10\]),
+//! 3. matches each group to the node whose Eq. (2) processing capacity
+//!    best fits the group's Eq. (10) processing weight (minimising the
+//!    Eq. (9) error),
+//! 4. learns from the two reinforcement feedback signals: the immediate
+//!    *error* and the deferred *reward* (deadline hits, Eq. 8), combined
+//!    into the learning value `l_val = reward / error` (Eq. 7),
+//! 5. records every cycle in the **shared-learning memory** (15 cycles per
+//!    agent, §III.B) and — whenever the reward drops below the previous
+//!    cycle's — replays the remembered action with the maximum learning
+//!    value (§IV.C).
+//!
+//! The split half of the TG technique (§IV.D.2) is executed by the
+//! platform engine (`platform::engine`) and is enabled by default.
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod agent;
+pub mod config;
+pub mod feedback;
+pub mod grouping;
+pub mod memory;
+pub mod scheduler;
+pub mod state;
+pub mod value;
+
+pub use action::{ActionChoice, PolicyKind};
+pub use config::AdaptiveRlConfig;
+pub use feedback::learning_value;
+pub use memory::SharedLearningMemory;
+pub use scheduler::AdaptiveRl;

@@ -1,0 +1,486 @@
+//! The Adaptive-RL scheduler: agents + shared memory + value estimator
+//! wired into the platform's [`Scheduler`] interface.
+
+use crate::action::ActionChoice;
+use crate::agent::Agent;
+use crate::config::AdaptiveRlConfig;
+use crate::feedback::{learning_value, value_target};
+use crate::grouping::{self, MergedGroup};
+use crate::memory::{Experience, SharedLearningMemory};
+use crate::state::SiteObservation;
+use crate::value::ValueEstimator;
+use platform::{
+    AssignmentFeedback, Command, GroupFeedback, NodeAddr, PlatformView, ProcAddr, Scheduler,
+};
+use simcore::rng::RngStream;
+use simcore::time::SimTime;
+use std::collections::{HashMap, VecDeque};
+use workload::{SiteId, Task};
+
+/// A dispatched-but-unresolved sample awaiting its reward.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    obs: SiteObservation,
+    action: ActionChoice,
+    site: u32,
+}
+
+/// The paper's Adaptive-RL energy-management scheduler.
+///
+/// ```
+/// use adaptive_rl::{AdaptiveRl, AdaptiveRlConfig};
+/// use platform::{ExecConfig, ExecEngine, Platform, PlatformSpec};
+/// use simcore::rng::RngStream;
+/// use workload::{Workload, WorkloadSpec};
+///
+/// let rng = RngStream::root(7);
+/// let platform = Platform::generate(PlatformSpec::small(2, 2, 4), &rng.derive("p"));
+/// let wl = Workload::generate(
+///     WorkloadSpec::paper(80, 2, platform.reference_speed()),
+///     &rng.derive("w"),
+/// );
+/// let mut sched = AdaptiveRl::new(platform.num_sites(), AdaptiveRlConfig::default());
+/// let result = ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched);
+/// assert_eq!(result.incomplete, 0);
+/// assert!(sched.cycles() > 0, "the agent learned from completed groups");
+/// ```
+pub struct AdaptiveRl {
+    cfg: AdaptiveRlConfig,
+    agents: Vec<Agent>,
+    memory: SharedLearningMemory,
+    value: ValueEstimator,
+    epsilon: f64,
+    cycles: u64,
+    /// Samples for Dispatch commands issued this round, FIFO — resolved by
+    /// the engine's in-order `on_assignment` / `on_rejected` callbacks.
+    issued: VecDeque<Sample>,
+    /// Samples awaiting group completion, keyed by group id.
+    in_flight: HashMap<u64, Sample>,
+}
+
+impl AdaptiveRl {
+    /// Creates a scheduler for a platform with `num_sites` resource sites.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or zero sites.
+    pub fn new(num_sites: usize, cfg: AdaptiveRlConfig) -> Self {
+        cfg.validate();
+        assert!(num_sites > 0, "need at least one site");
+        let root = RngStream::root(cfg.seed);
+        let agents = (0..num_sites)
+            .map(|s| Agent::new(SiteId(s as u32), root.derive_indexed("agent", s as u64)))
+            .collect();
+        AdaptiveRl {
+            agents,
+            memory: SharedLearningMemory::new(num_sites, cfg.memory_depth),
+            value: ValueEstimator::new(cfg.hidden, cfg.lr, cfg.momentum, cfg.seed),
+            epsilon: cfg.epsilon0,
+            cycles: 0,
+            issued: VecDeque::new(),
+            in_flight: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Learning cycles completed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Read access to the shared-learning memory (diagnostics).
+    pub fn memory(&self) -> &SharedLearningMemory {
+        &self.memory
+    }
+
+    /// Eq. (10) processing weight of a candidate group.
+    fn group_pw(tasks: &[Task]) -> f64 {
+        let work: f64 = tasks.iter().map(|t| t.size_mi).sum();
+        let budget: f64 = tasks
+            .iter()
+            .map(|t| t.deadline.since(t.arrival).as_f64())
+            .sum();
+        work / budget.max(f64::MIN_POSITIVE)
+    }
+
+    /// Picks the node whose capacity best fits the group (minimum Eq. (9)
+    /// error), honouring queue slots already claimed this round.
+    fn select_node(
+        &self,
+        view: &PlatformView<'_>,
+        site: SiteId,
+        group: &MergedGroup,
+        used: &[(NodeAddr, usize)],
+    ) -> Option<NodeAddr> {
+        let pw = Self::group_pw(&group.tasks);
+        let claimed = |addr: NodeAddr| {
+            used.iter()
+                .find(|(a, _)| *a == addr)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        let eligible: Vec<_> = view
+            .site_nodes(site)
+            .filter(|n| {
+                n.queue_available() > claimed(n.addr()) && n.num_processors() >= group.tasks.len()
+            })
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        if self.cfg.use_error_feedback {
+            // Both feedback signals steer placement: the reward needs the
+            // deadline met, the error needs pw matched to capacity. First
+            // keep nodes that can plausibly finish the group's largest
+            // member before the earliest deadline, then minimise Eq. (9)
+            // among them (falling back to all eligible nodes when none
+            // qualifies).
+            let now = view.now();
+            let max_size = group
+                .tasks
+                .iter()
+                .map(|t| t.size_mi)
+                .fold(0.0_f64, f64::max);
+            let earliest_slack = group
+                .tasks
+                .iter()
+                .map(|t| t.deadline.since(now).as_f64())
+                .fold(f64::INFINITY, f64::min);
+            let feasible: Vec<_> = eligible
+                .iter()
+                .copied()
+                .filter(|n| {
+                    let mean_speed = n.raw_speed() / n.num_processors() as f64 * n.throttle();
+                    max_size / mean_speed.max(1.0) <= earliest_slack
+                })
+                .collect();
+            let pool = if feasible.is_empty() {
+                &eligible
+            } else {
+                &feasible
+            };
+            // §IV.D.1: "a task group with a small pw is required to be
+            // executed as early as possible" — when every candidate node
+            // over-provides capacity, the earliest finish is the fastest
+            // node. Otherwise match pw to capacity (minimum Eq. (9)
+            // error).
+            let min_cap = pool
+                .iter()
+                .map(|n| n.processing_capacity())
+                .fold(f64::INFINITY, f64::min);
+            if pw <= min_cap {
+                pool.iter()
+                    .max_by(|a, b| {
+                        a.processing_capacity()
+                            .partial_cmp(&b.processing_capacity())
+                            .expect("capacities are finite")
+                    })
+                    .map(|n| n.addr())
+            } else {
+                pool.iter()
+                    .min_by(|a, b| {
+                        let ea = (1.0 - a.processing_capacity() / pw).abs();
+                        let eb = (1.0 - b.processing_capacity() / pw).abs();
+                        ea.partial_cmp(&eb).expect("errors are finite")
+                    })
+                    .map(|n| n.addr())
+            }
+        } else {
+            eligible
+                .iter()
+                .max_by_key(|n| n.queue_available() - claimed(n.addr()))
+                .map(|n| n.addr())
+        }
+    }
+}
+
+impl Scheduler for AdaptiveRl {
+    fn name(&self) -> &str {
+        "Adaptive-RL"
+    }
+
+    fn on_arrivals(&mut self, _now: SimTime, site: SiteId, tasks: Vec<Task>) {
+        self.agents[site.0 as usize].buffer(tasks);
+    }
+
+    fn dispatch(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        for idx in 0..self.agents.len() {
+            if self.agents[idx].pending.is_empty() {
+                continue;
+            }
+            let site = SiteId(idx as u32);
+            let obs = SiteObservation::observe(view, site, &self.agents[idx].pending);
+            if obs.max_procs == 0 {
+                continue;
+            }
+            let mut candidates = ActionChoice::candidates(obs.max_procs);
+            if let Some(forced) = self.cfg.force_policy {
+                candidates.retain(|c| c.policy == forced);
+            }
+            let value = self.cfg.use_value_net.then_some(&self.value);
+            let (action, _src) = self.agents[idx].choose_action(
+                &obs,
+                &candidates,
+                self.epsilon,
+                value,
+                &self.memory,
+                self.cfg.use_shared_memory,
+                obs.max_procs,
+            );
+            // Hold partial chunks only while the site has no idle
+            // processor — grouping must never delay tasks that could start
+            // right away.
+            let site_idle = view
+                .site_nodes(site)
+                .any(|n| n.idle_count() > 0 && n.queue_len() == 0);
+            let effective_flush = if site_idle { 0.0 } else { self.cfg.flush_age };
+            let groups =
+                grouping::merge(&mut self.agents[idx].pending, action, now, effective_flush);
+            let mut used: Vec<(NodeAddr, usize)> = Vec::new();
+            for group in groups {
+                match self.select_node(view, site, &group, &used) {
+                    Some(addr) => {
+                        match used.iter_mut().find(|(a, _)| *a == addr) {
+                            Some((_, c)) => *c += 1,
+                            None => used.push((addr, 1)),
+                        }
+                        self.issued.push_back(Sample {
+                            obs,
+                            action,
+                            site: idx as u32,
+                        });
+                        cmds.push(Command::Dispatch {
+                            node: addr,
+                            tasks: group.tasks,
+                            policy: group.policy,
+                        });
+                    }
+                    None => {
+                        // Site saturated: keep the tasks pending.
+                        self.agents[idx].pending.extend(group.tasks);
+                    }
+                }
+            }
+        }
+        cmds
+    }
+
+    fn on_assignment(&mut self, _now: SimTime, fb: &AssignmentFeedback) {
+        if let Some(sample) = self.issued.pop_front() {
+            self.in_flight.insert(fb.group.0, sample);
+        }
+    }
+
+    fn on_rejected(&mut self, _now: SimTime, site: SiteId, tasks: Vec<Task>) {
+        let _ = self.issued.pop_front();
+        self.agents[site.0 as usize].buffer(tasks);
+    }
+
+    fn on_tick(&mut self, _now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
+        if !self.cfg.power_gating {
+            return Vec::new();
+        }
+        // Hibernate processors of drained nodes while the agent has no
+        // pending work; the engine wakes them on demand.
+        let mut cmds = Vec::new();
+        for (idx, agent) in self.agents.iter().enumerate() {
+            if !agent.pending.is_empty() {
+                continue;
+            }
+            let site = SiteId(idx as u32);
+            for node in view.site_nodes(site) {
+                if node.queue_len() > 0 {
+                    continue;
+                }
+                for p in 0..node.num_processors() {
+                    if node.proc_is_idle(p) {
+                        cmds.push(Command::Sleep(ProcAddr {
+                            node: node.addr(),
+                            proc: p as u32,
+                        }));
+                    }
+                }
+            }
+        }
+        cmds
+    }
+
+    fn on_group_complete(&mut self, _now: SimTime, fb: &GroupFeedback) {
+        self.cycles += 1;
+        self.epsilon = (self.epsilon * self.cfg.epsilon_decay).max(self.cfg.epsilon_floor);
+        let Some(sample) = self.in_flight.remove(&fb.group.0) else {
+            return;
+        };
+        let l_val = learning_value(fb.reward, fb.error, self.cfg.error_floor);
+        self.memory.record(Experience {
+            agent: sample.site,
+            action: sample.action,
+            l_val,
+            cycle: self.cycles,
+        });
+        if self.cfg.use_reward_feedback {
+            let target = value_target(fb.reward, fb.size, fb.error);
+            if self.cfg.use_value_net {
+                self.value.train(&sample.obs, sample.action, target);
+            }
+            self.agents[sample.site as usize].note_reward(fb.success_rate());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::{ExecConfig, ExecEngine, Platform, PlatformSpec, RunResult};
+    use workload::{Workload, WorkloadSpec};
+
+    fn run(seed: u64, n_tasks: usize, iat: f64, cfg: AdaptiveRlConfig) -> RunResult {
+        let rng = RngStream::root(seed);
+        let platform = Platform::generate(PlatformSpec::small(2, 3, 4), &rng.derive("p"));
+        let mut wspec = WorkloadSpec::paper(n_tasks, 2, platform.reference_speed());
+        wspec.mean_interarrival = iat;
+        let wl = Workload::generate(wspec, &rng.derive("w"));
+        let mut sched = AdaptiveRl::new(2, cfg);
+        ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched)
+    }
+
+    #[test]
+    fn completes_all_tasks_light_load() {
+        let r = run(1, 300, 2.0, AdaptiveRlConfig::default());
+        assert_eq!(r.incomplete, 0, "outcome {}", r.outcome);
+        assert_eq!(r.scheduler, "Adaptive-RL");
+        assert!(r.success_rate() > 0.5, "success {}", r.success_rate());
+    }
+
+    #[test]
+    fn completes_all_tasks_heavy_load() {
+        let r = run(2, 600, 0.35, AdaptiveRlConfig::default());
+        assert_eq!(r.incomplete, 0, "outcome {}", r.outcome);
+        assert!(r.groups_completed > 0);
+        // Under heavy load grouping must actually group.
+        assert!(
+            (r.groups_dispatched as usize) < 600,
+            "dispatched {} groups for 600 tasks",
+            r.groups_dispatched
+        );
+    }
+
+    #[test]
+    fn learning_state_advances() {
+        let rng = RngStream::root(3);
+        let platform = Platform::generate(PlatformSpec::small(2, 3, 4), &rng.derive("p"));
+        let mut wspec = WorkloadSpec::paper(400, 2, platform.reference_speed());
+        wspec.mean_interarrival = 0.5;
+        let wl = Workload::generate(wspec, &rng.derive("w"));
+        let mut sched = AdaptiveRl::new(2, AdaptiveRlConfig::default());
+        let eps0 = sched.epsilon();
+        let r = ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched);
+        assert_eq!(r.incomplete, 0);
+        assert!(sched.cycles() > 0);
+        assert!(sched.epsilon() < eps0, "epsilon must decay with cycles");
+        assert!(!sched.memory().is_empty(), "memory must fill");
+        assert!(sched.memory().len() <= 2 * 15, "ring bound respected");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(7, 200, 1.0, AdaptiveRlConfig::default());
+        let b = run(7, 200, 1.0, AdaptiveRlConfig::default());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_energy, b.total_energy);
+    }
+
+    #[test]
+    fn ablated_variants_still_complete() {
+        for cfg in [
+            AdaptiveRlConfig {
+                use_shared_memory: false,
+                ..Default::default()
+            },
+            AdaptiveRlConfig {
+                use_value_net: false,
+                ..Default::default()
+            },
+            AdaptiveRlConfig {
+                use_error_feedback: false,
+                ..Default::default()
+            },
+            AdaptiveRlConfig {
+                use_reward_feedback: false,
+                ..Default::default()
+            },
+        ] {
+            let r = run(9, 250, 0.8, cfg);
+            assert_eq!(r.incomplete, 0, "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn power_gating_saves_energy_with_a_real_sleep_state() {
+        // Give the platform a genuine deep-sleep wattage, run a sparse
+        // workload, and compare gated vs ungated energy.
+        let mk = |gating: bool| {
+            let rng = RngStream::root(17);
+            let mut pspec = PlatformSpec::small(2, 3, 4);
+            pspec.power.p_sleep = 5.0;
+            let platform = Platform::generate(pspec, &rng.derive("p"));
+            let mut wspec = workload::WorkloadSpec::paper(120, 2, platform.reference_speed());
+            wspec.mean_interarrival = 6.0; // long idle gaps
+            let wl = workload::Workload::generate(wspec, &rng.derive("w"));
+            let cfg = AdaptiveRlConfig {
+                power_gating: gating,
+                ..AdaptiveRlConfig::default()
+            };
+            let mut sched = AdaptiveRl::new(2, cfg);
+            ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched)
+        };
+        let gated = mk(true);
+        let ungated = mk(false);
+        assert_eq!(gated.incomplete, 0, "gating must never strand tasks");
+        assert_eq!(ungated.incomplete, 0);
+        assert!(
+            gated.total_energy < ungated.total_energy * 0.8,
+            "hibernation must pay on sparse load: {} vs {}",
+            gated.total_energy,
+            ungated.total_energy
+        );
+    }
+
+    #[test]
+    fn power_gating_is_safe_under_heavy_load() {
+        let rng = RngStream::root(19);
+        let mut pspec = PlatformSpec::small(2, 3, 4);
+        pspec.power.p_sleep = 5.0;
+        let platform = Platform::generate(pspec, &rng.derive("p"));
+        let mut wspec = workload::WorkloadSpec::paper(400, 2, platform.reference_speed());
+        wspec.mean_interarrival = 0.4;
+        let wl = workload::Workload::generate(wspec, &rng.derive("w"));
+        let cfg = AdaptiveRlConfig {
+            power_gating: true,
+            ..AdaptiveRlConfig::default()
+        };
+        let mut sched = AdaptiveRl::new(2, cfg);
+        let r = ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched);
+        assert_eq!(r.incomplete, 0, "outcome {}", r.outcome);
+    }
+
+    #[test]
+    fn no_rejection_leaks_tasks() {
+        // Tiny queues to force rejections; every task must still finish.
+        let rng = RngStream::root(11);
+        let mut pspec = PlatformSpec::small(1, 2, 4);
+        pspec.queue_capacity = 1;
+        let platform = Platform::generate(pspec, &rng.derive("p"));
+        let mut wspec = WorkloadSpec::paper(300, 1, platform.reference_speed());
+        wspec.mean_interarrival = 0.3;
+        let wl = Workload::generate(wspec, &rng.derive("w"));
+        let mut sched = AdaptiveRl::new(1, AdaptiveRlConfig::default());
+        let r = ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched);
+        assert_eq!(r.incomplete, 0, "outcome {}", r.outcome);
+    }
+}

@@ -1,0 +1,173 @@
+//! State observation and featurisation.
+//!
+//! §IV.B: the agent receives, from each of its nodes, the state vector
+//! `S_c(t) = (Load, q⁻, {PP_1…m})`. [`SiteObservation`] aggregates those
+//! per-node vectors over one site (one agent's domain) together with the
+//! agent's pending-pool composition, and exposes a normalised feature
+//! vector for the neural value estimator.
+
+use platform::PlatformView;
+use serde::{Deserialize, Serialize};
+use workload::{Priority, SiteId, Task};
+
+/// Number of state features produced by [`SiteObservation::features`].
+pub const STATE_FEATURES: usize = 8;
+
+/// Aggregated observation of one site at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SiteObservation {
+    /// Mean queued processing weight across the site's nodes (`Load`).
+    pub mean_load: f64,
+    /// Mean fraction of free queue slots (`q⁻` normalised).
+    pub mean_queue_free: f64,
+    /// Mean instantaneous processor power as a fraction of the 95 W peak
+    /// (`{PP_1…m}` aggregated).
+    pub mean_power_frac: f64,
+    /// Mean Eq. (2) processing capacity (MIPS).
+    pub mean_capacity: f64,
+    /// Largest processor count among the site's nodes (caps `opnum`).
+    pub max_procs: usize,
+    /// Tasks waiting in the agent's pending pool.
+    pub pending: usize,
+    /// Pending-pool priority composition `[low, medium, high]`.
+    pub priority_mix: [f64; 3],
+}
+
+impl SiteObservation {
+    /// Observes `site` through `view`, with the agent's current pending
+    /// pool.
+    pub fn observe(view: &PlatformView<'_>, site: SiteId, pending: &[Task]) -> Self {
+        let mut n = 0usize;
+        let mut load = 0.0;
+        let mut qfree = 0.0;
+        let mut power = 0.0;
+        let mut cap = 0.0;
+        let mut max_procs = 0usize;
+        for node in view.site_nodes(site) {
+            n += 1;
+            load += node.load();
+            qfree += node.queue_available() as f64
+                / (node.queue_available() + node.queue_len()).max(1) as f64;
+            let powers = node.proc_powers();
+            power += powers.iter().sum::<f64>() / powers.len().max(1) as f64;
+            cap += node.processing_capacity();
+            max_procs = max_procs.max(node.num_processors());
+        }
+        let nf = n.max(1) as f64;
+        let mut mix = [0.0; 3];
+        for t in pending {
+            mix[t.priority.index()] += 1.0;
+        }
+        if !pending.is_empty() {
+            for m in &mut mix {
+                *m /= pending.len() as f64;
+            }
+        }
+        SiteObservation {
+            mean_load: load / nf,
+            mean_queue_free: qfree / nf,
+            mean_power_frac: power / nf / 95.0,
+            mean_capacity: cap / nf,
+            max_procs,
+            pending: pending.len(),
+            priority_mix: mix,
+        }
+    }
+
+    /// Normalised feature vector (every component in `[0, 1]` up to
+    /// squashing): `[load, queue_free, power, capacity, pending, low,
+    /// medium, high]`.
+    pub fn features(&self) -> [f64; STATE_FEATURES] {
+        [
+            self.mean_load / (1.0 + self.mean_load),
+            self.mean_queue_free,
+            self.mean_power_frac,
+            self.mean_capacity / (1000.0 + self.mean_capacity),
+            self.pending as f64 / (10.0 + self.pending as f64),
+            self.priority_mix[Priority::Low.index()],
+            self.priority_mix[Priority::Medium.index()],
+            self.priority_mix[Priority::High.index()],
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::{Platform, PlatformSpec};
+    use simcore::rng::RngStream;
+    use simcore::SimTime;
+    use workload::{TaskId, Workload, WorkloadSpec};
+
+    fn sample() -> (Platform, Vec<Task>) {
+        let rng = RngStream::root(5);
+        let p = Platform::generate(PlatformSpec::small(2, 3, 4), &rng.derive("p"));
+        let w = Workload::generate(
+            WorkloadSpec::paper(40, 2, p.reference_speed()),
+            &rng.derive("w"),
+        );
+        (p, w.tasks)
+    }
+
+    #[test]
+    fn observation_of_idle_site() {
+        let (p, tasks) = sample();
+        let view = PlatformView::new(&p, SimTime::ZERO);
+        let site_tasks: Vec<Task> = tasks
+            .iter()
+            .filter(|t| t.site == SiteId(0))
+            .cloned()
+            .collect();
+        let obs = SiteObservation::observe(&view, SiteId(0), &site_tasks);
+        assert_eq!(obs.mean_load, 0.0);
+        assert_eq!(obs.mean_queue_free, 1.0);
+        // Idle draw 48 / 95.
+        assert!((obs.mean_power_frac - 48.0 / 95.0).abs() < 1e-9);
+        assert_eq!(obs.max_procs, 4);
+        assert_eq!(obs.pending, site_tasks.len());
+        let mix_sum: f64 = obs.priority_mix.iter().sum();
+        assert!((mix_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let (p, tasks) = sample();
+        let view = PlatformView::new(&p, SimTime::ZERO);
+        let obs = SiteObservation::observe(&view, SiteId(1), &tasks);
+        for (i, f) in obs.features().iter().enumerate() {
+            assert!((0.0..=1.0).contains(f), "feature {i} = {f}");
+        }
+        assert_eq!(obs.features().len(), STATE_FEATURES);
+    }
+
+    #[test]
+    fn empty_pending_mix_is_zero() {
+        let (p, _) = sample();
+        let view = PlatformView::new(&p, SimTime::ZERO);
+        let obs = SiteObservation::observe(&view, SiteId(0), &[]);
+        assert_eq!(obs.priority_mix, [0.0; 3]);
+        assert_eq!(obs.pending, 0);
+    }
+
+    #[test]
+    fn pending_mix_counts_priorities() {
+        let (p, _) = sample();
+        let view = PlatformView::new(&p, SimTime::ZERO);
+        let mk = |id: u64, prio: Priority| Task {
+            id: TaskId(id),
+            size_mi: 1000.0,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::new(100.0),
+            priority: prio,
+            site: SiteId(0),
+        };
+        let pend = vec![
+            mk(0, Priority::High),
+            mk(1, Priority::High),
+            mk(2, Priority::Low),
+            mk(3, Priority::Medium),
+        ];
+        let obs = SiteObservation::observe(&view, SiteId(0), &pend);
+        assert_eq!(obs.priority_mix, [0.25, 0.25, 0.5]);
+    }
+}

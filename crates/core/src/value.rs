@@ -1,0 +1,134 @@
+//! The neural value estimator.
+//!
+//! Predicts the normalised learning value of taking a grouping action in a
+//! given site state — the function-approximation role the paper assigns to
+//! the neural-network structure of \[10\]. Trained online: one SGD step per
+//! completed learning cycle.
+
+use crate::action::ActionChoice;
+use crate::state::{SiteObservation, STATE_FEATURES};
+use neural::{Activation, Mlp, Sgd};
+
+/// Width of the estimator's input: state features plus action features.
+pub const INPUT_WIDTH: usize = STATE_FEATURES + 3;
+
+/// Value estimator: `(state, action) → expected normalised l_val`.
+#[derive(Debug, Clone)]
+pub struct ValueEstimator {
+    net: Mlp,
+}
+
+impl ValueEstimator {
+    /// Creates an estimator with one hidden layer of `hidden` units.
+    pub fn new(hidden: usize, lr: f64, momentum: f64, seed: u64) -> Self {
+        ValueEstimator {
+            net: Mlp::new(
+                &[INPUT_WIDTH, hidden, 1],
+                Activation::Tanh,
+                Sgd::new(lr, momentum),
+                seed,
+            ),
+        }
+    }
+
+    fn encode(obs: &SiteObservation, action: ActionChoice) -> [f64; INPUT_WIDTH] {
+        let mut input = [0.0; INPUT_WIDTH];
+        input[..STATE_FEATURES].copy_from_slice(&obs.features());
+        input[STATE_FEATURES..].copy_from_slice(&action.features(obs.max_procs));
+        input
+    }
+
+    /// Predicted normalised learning value of `action` in `obs`.
+    pub fn predict(&self, obs: &SiteObservation, action: ActionChoice) -> f64 {
+        self.net.predict_scalar(&Self::encode(obs, action))
+    }
+
+    /// One online training step toward the observed normalised target;
+    /// returns the pre-update squared error.
+    pub fn train(&mut self, obs: &SiteObservation, action: ActionChoice, target: f64) -> f64 {
+        self.net.train_step(&Self::encode(obs, action), &[target])
+    }
+
+    /// The action among `candidates` with the highest predicted value.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn best_action(&self, obs: &SiteObservation, candidates: &[ActionChoice]) -> ActionChoice {
+        assert!(!candidates.is_empty(), "need at least one candidate action");
+        *candidates
+            .iter()
+            .max_by(|a, b| {
+                self.predict(obs, **a)
+                    .partial_cmp(&self.predict(obs, **b))
+                    .expect("predictions are finite")
+            })
+            .expect("non-empty")
+    }
+
+    /// Training steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.net.steps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::PolicyKind;
+
+    fn obs() -> SiteObservation {
+        SiteObservation {
+            mean_load: 2.0,
+            mean_queue_free: 0.5,
+            mean_power_frac: 0.6,
+            mean_capacity: 1500.0,
+            max_procs: 6,
+            pending: 8,
+            priority_mix: [0.3, 0.4, 0.3],
+        }
+    }
+
+    #[test]
+    fn learns_to_prefer_the_rewarded_action() {
+        let mut v = ValueEstimator::new(8, 0.05, 0.5, 7);
+        let good = ActionChoice {
+            policy: PolicyKind::Mixed,
+            opnum: 5,
+        };
+        let bad = ActionChoice {
+            policy: PolicyKind::Mixed,
+            opnum: 1,
+        };
+        let o = obs();
+        for _ in 0..300 {
+            v.train(&o, good, 0.9);
+            v.train(&o, bad, 0.1);
+        }
+        assert!(v.predict(&o, good) > v.predict(&o, bad) + 0.3);
+        assert_eq!(v.best_action(&o, &[bad, good]), good);
+        assert_eq!(v.steps(), 600);
+    }
+
+    #[test]
+    fn training_error_shrinks() {
+        let mut v = ValueEstimator::new(6, 0.05, 0.0, 3);
+        let a = ActionChoice {
+            policy: PolicyKind::Identical,
+            opnum: 4,
+        };
+        let o = obs();
+        let first = v.train(&o, a, 0.7);
+        let mut last = first;
+        for _ in 0..200 {
+            last = v.train(&o, a, 0.7);
+        }
+        assert!(last < first * 0.05, "{first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_rejected() {
+        let v = ValueEstimator::new(4, 0.05, 0.0, 1);
+        let _ = v.best_action(&obs(), &[]);
+    }
+}

@@ -1,0 +1,18 @@
+//! Runs the DESIGN.md §5 ablation table on a heavy scenario: shared
+//! memory, split process, merge policies, memory depth and the two
+//! feedback signals. `ARL_QUICK=1` reduces the run.
+
+use experiments::figures::ablation_table;
+
+fn main() {
+    let quick = std::env::var("ARL_QUICK").is_ok();
+    let (tasks, reps) = if quick { (600, 1) } else { (2000, 3) };
+    let rows = ablation_table(tasks, 0.95, reps, 2014);
+    println!(
+        "{:<26} {:>10} {:>10} {:>9}",
+        "variant", "aveRT", "ECS(M)", "success"
+    );
+    for (label, rt, ec, sr) in rows {
+        println!("{label:<26} {rt:>10.2} {ec:>10.3} {sr:>9.3}");
+    }
+}

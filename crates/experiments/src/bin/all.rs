@@ -1,0 +1,33 @@
+//! Reproduces every figure of the paper's evaluation (Figs. 7–12) in one
+//! run. `ARL_QUICK=1` runs the reduced sweeps.
+
+use experiments::{experiment1, experiment2, experiment3, Exp1Options, Exp2Options, Exp3Options};
+
+fn main() {
+    let quick = std::env::var("ARL_QUICK").is_ok();
+    let e1 = if quick {
+        Exp1Options::quick()
+    } else {
+        Exp1Options::default()
+    };
+    let e2 = if quick {
+        Exp2Options::quick()
+    } else {
+        Exp2Options::default()
+    };
+    let e3 = if quick {
+        Exp3Options::quick()
+    } else {
+        Exp3Options::default()
+    };
+
+    let (fig7, fig8) = experiment1(&e1);
+    println!("{}\n", fig7.render());
+    println!("{}\n", fig8.render());
+    let (fig9, fig10) = experiment2(&e2);
+    println!("{}\n", fig9.render());
+    println!("{}\n", fig10.render());
+    let (fig11, fig12) = experiment3(&e3);
+    println!("{}\n", fig11.render());
+    println!("{}\n", fig12.render());
+}

@@ -1,0 +1,15 @@
+//! Reproduces Fig. 10: utilisation rate vs % learning cycles, Adaptive-RL
+//! vs Online RL, lightly loaded state. `ARL_QUICK=1` reduces the run.
+
+use experiments::{experiment2, Exp2Options};
+
+fn main() {
+    let opts = if std::env::var("ARL_QUICK").is_ok() {
+        Exp2Options::quick()
+    } else {
+        Exp2Options::default()
+    };
+    let (_, fig10) = experiment2(&opts);
+    println!("{}", fig10.render());
+    println!("--- CSV ---\n{}", fig10.to_csv());
+}

@@ -1,0 +1,15 @@
+//! Reproduces Fig. 11: successful rate of Adaptive-RL vs resource
+//! heterogeneity, lightly and heavily loaded. `ARL_QUICK=1` reduces it.
+
+use experiments::{experiment3, Exp3Options};
+
+fn main() {
+    let opts = if std::env::var("ARL_QUICK").is_ok() {
+        Exp3Options::quick()
+    } else {
+        Exp3Options::default()
+    };
+    let (fig11, _) = experiment3(&opts);
+    println!("{}", fig11.render());
+    println!("--- CSV ---\n{}", fig11.to_csv());
+}

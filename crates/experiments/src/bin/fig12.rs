@@ -1,0 +1,16 @@
+//! Reproduces Fig. 12: average energy consumption of Adaptive-RL vs
+//! resource heterogeneity, lightly and heavily loaded. `ARL_QUICK=1`
+//! reduces it.
+
+use experiments::{experiment3, Exp3Options};
+
+fn main() {
+    let opts = if std::env::var("ARL_QUICK").is_ok() {
+        Exp3Options::quick()
+    } else {
+        Exp3Options::default()
+    };
+    let (_, fig12) = experiment3(&opts);
+    println!("{}", fig12.render());
+    println!("--- CSV ---\n{}", fig12.to_csv());
+}

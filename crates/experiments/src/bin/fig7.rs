@@ -1,0 +1,15 @@
+//! Reproduces Fig. 7: average response time vs number of tasks for the
+//! four learning approaches. `ARL_QUICK=1` runs a reduced sweep.
+
+use experiments::{experiment1, Exp1Options};
+
+fn main() {
+    let opts = if std::env::var("ARL_QUICK").is_ok() {
+        Exp1Options::quick()
+    } else {
+        Exp1Options::default()
+    };
+    let (fig7, _) = experiment1(&opts);
+    println!("{}", fig7.render());
+    println!("--- CSV ---\n{}", fig7.to_csv());
+}

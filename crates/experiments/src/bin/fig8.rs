@@ -1,0 +1,15 @@
+//! Reproduces Fig. 8: average energy consumption vs number of tasks for
+//! the four learning approaches. `ARL_QUICK=1` runs a reduced sweep.
+
+use experiments::{experiment1, Exp1Options};
+
+fn main() {
+    let opts = if std::env::var("ARL_QUICK").is_ok() {
+        Exp1Options::quick()
+    } else {
+        Exp1Options::default()
+    };
+    let (_, fig8) = experiment1(&opts);
+    println!("{}", fig8.render());
+    println!("--- CSV ---\n{}", fig8.to_csv());
+}

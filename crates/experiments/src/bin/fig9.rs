@@ -1,0 +1,15 @@
+//! Reproduces Fig. 9: utilisation rate vs % learning cycles, Adaptive-RL
+//! vs Online RL, heavily loaded state. `ARL_QUICK=1` reduces the run.
+
+use experiments::{experiment2, Exp2Options};
+
+fn main() {
+    let opts = if std::env::var("ARL_QUICK").is_ok() {
+        Exp2Options::quick()
+    } else {
+        Exp2Options::default()
+    };
+    let (fig9, _) = experiment2(&opts);
+    println!("{}", fig9.render());
+    println!("--- CSV ---\n{}", fig9.to_csv());
+}

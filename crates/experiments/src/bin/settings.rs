@@ -1,0 +1,61 @@
+#![allow(clippy::print_literal)] // the paper/here table aligns literal columns
+//! Prints the experiment-setting matrix of §V.A next to this
+//! reproduction's calibrated values (the "table" of the paper's
+//! evaluation).
+
+use experiments::Scenario;
+
+fn main() {
+    let sc = Scenario::new(2011, 3000, 1.0);
+    let platform = sc.build_platform();
+    let iat_heavy = sc.interarrival_for(&platform);
+    let light = Scenario::new(2011, 500, 1.0 * 500.0 / 3000.0);
+    let iat_light = light.interarrival_for(&platform);
+    println!("Experiment settings (paper §V.A -> this reproduction)");
+    println!("{:-<72}", "-");
+    println!("{:<34} {:<18} {}", "parameter", "paper", "here");
+    println!(
+        "{:<34} {:<18} {}",
+        "resource sites", "5-10", sc.platform.num_sites
+    );
+    println!(
+        "{:<34} {:<18} {:?}",
+        "compute nodes per site", "5-20", sc.platform.nodes_per_site
+    );
+    println!(
+        "{:<34} {:<18} {:?}",
+        "processors per node", "4-6", sc.platform.procs_per_node
+    );
+    println!(
+        "{:<34} {:<18} {:?} MIPS",
+        "processor speed", "500-1000 MIPS", sc.platform.speed_range
+    );
+    println!(
+        "{:<34} {:<18} {} / {} W",
+        "p_min / p_max", "48 / 95 W", sc.platform.power.p_idle, sc.platform.power.p_peak_max
+    );
+    println!(
+        "{:<34} {:<18} {}",
+        "number of tasks", "500-3000", "500-3000"
+    );
+    println!(
+        "{:<34} {:<18} {:.4} (heavy) / {:.4} (light) — calibrated by offered load, see DESIGN.md",
+        "mean inter-arrival (t units)", "5", iat_heavy, iat_light
+    );
+    println!(
+        "{:<34} {:<18} {}",
+        "task size", "600-7200 MI", "600-7200 MI"
+    );
+    println!(
+        "{:<34} {:<18} {}",
+        "deadline", "ACT + 0-150% ACT", "ACT + 0-150% ACT"
+    );
+    println!();
+    println!(
+        "generated platform: {} sites, {} nodes, {} processors, reference speed {:.1} MIPS",
+        platform.num_sites(),
+        platform.num_nodes(),
+        platform.num_processors(),
+        platform.reference_speed()
+    );
+}

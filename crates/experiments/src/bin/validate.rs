@@ -1,0 +1,188 @@
+//! Shape validator: runs reduced versions of every experiment and checks
+//! each qualitative claim of the paper against this build, printing
+//! PASS/FAIL per claim. Exit code 1 if any claim fails.
+//!
+//! This is the same set of guarantees `tests/figure_shapes.rs` enforces in
+//! CI, packaged as a standalone reproduction check.
+
+use experiments::{experiment1, experiment2, experiment3, Exp1Options, Exp2Options, Exp3Options};
+
+struct Checker {
+    failures: u32,
+}
+
+impl Checker {
+    fn check(&mut self, claim: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {claim}");
+        } else {
+            println!("FAIL  {claim} — {detail}");
+            self.failures += 1;
+        }
+    }
+}
+
+fn main() {
+    let mut c = Checker { failures: 0 };
+    let quick = std::env::var("ARL_QUICK").is_ok();
+
+    // --- Experiment 1 ----------------------------------------------------
+    let e1 = if quick {
+        Exp1Options {
+            task_counts: vec![400, 1200],
+            reps: 1,
+            ..Exp1Options::default()
+        }
+    } else {
+        Exp1Options {
+            task_counts: vec![500, 1500, 3000],
+            reps: 2,
+            ..Exp1Options::default()
+        }
+    };
+    let (fig7, fig8) = experiment1(&e1);
+    let adaptive_rt = fig7.series_named("Adaptive RL").unwrap();
+    let last_rt = adaptive_rt.points.last().unwrap().y;
+    let first_rt = adaptive_rt.points.first().unwrap().y;
+    for s in &fig7.series {
+        if s.label == "Adaptive RL" {
+            continue;
+        }
+        let other = s.points.last().unwrap().y;
+        c.check(
+            &format!("Fig.7: Adaptive-RL beats {} at the heaviest load", s.label),
+            last_rt < other,
+            format!("{last_rt:.2} vs {other:.2}"),
+        );
+    }
+    let worst_last = fig7
+        .series
+        .iter()
+        .map(|s| s.points.last().unwrap().y)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let worst_first = fig7
+        .series
+        .iter()
+        .map(|s| s.points.first().unwrap().y)
+        .fold(f64::NEG_INFINITY, f64::max);
+    c.check(
+        "Fig.7: the response-time gap widens with load",
+        worst_last / last_rt > worst_first / first_rt,
+        format!(
+            "{:.2}x -> {:.2}x",
+            worst_first / first_rt,
+            worst_last / last_rt
+        ),
+    );
+    let a_e = fig8
+        .series_named("Adaptive RL")
+        .unwrap()
+        .points
+        .last()
+        .unwrap()
+        .y;
+    let o_e = fig8
+        .series_named("Online RL")
+        .unwrap()
+        .points
+        .last()
+        .unwrap()
+        .y;
+    c.check(
+        "Fig.8: Adaptive-RL lowest energy, Online RL comparable (<35% off)",
+        a_e < o_e && o_e / a_e < 1.35,
+        format!("{a_e:.3} vs {o_e:.3}"),
+    );
+
+    // --- Experiment 2 ----------------------------------------------------
+    let e2 = if quick {
+        Exp2Options {
+            heavy_tasks: 800,
+            light_tasks: 250,
+            reps: 1,
+            ..Exp2Options::default()
+        }
+    } else {
+        Exp2Options {
+            reps: 2,
+            ..Exp2Options::default()
+        }
+    };
+    let (fig9, fig10) = experiment2(&e2);
+    for (fig, tag) in [(&fig9, "Fig.9 (heavy)"), (&fig10, "Fig.10 (light)")] {
+        let adaptive = &fig.series[0];
+        let online = &fig.series[1];
+        c.check(
+            &format!("{tag}: Adaptive-RL utilisation rises with learning cycles"),
+            adaptive.is_monotone_nondecreasing(0.05),
+            format!("{:?}", adaptive.points),
+        );
+        let dominated = adaptive
+            .points
+            .iter()
+            .zip(&online.points)
+            .filter(|(a, o)| a.y >= o.y)
+            .count();
+        c.check(
+            &format!("{tag}: Adaptive-RL dominates Online RL"),
+            dominated >= 8,
+            format!("{dominated}/10 deciles"),
+        );
+    }
+    let heavy_end = fig9.series[0].points.last().unwrap().y;
+    c.check(
+        "Fig.9: heavy-state utilisation ends above 0.6",
+        heavy_end > 0.6,
+        format!("{heavy_end:.3}"),
+    );
+
+    // --- Experiment 3 ----------------------------------------------------
+    let e3 = if quick {
+        Exp3Options {
+            heterogeneity: vec![0.1, 0.9],
+            heavy: (800, 0.95),
+            light: (250, 0.65),
+            reps: 1,
+            ..Exp3Options::default()
+        }
+    } else {
+        Exp3Options {
+            reps: 2,
+            ..Exp3Options::default()
+        }
+    };
+    let (fig11, fig12) = experiment3(&e3);
+    let heavy_mean = fig11.series[0].y_mean().unwrap();
+    c.check(
+        "Fig.11: >70% of tasks meet deadlines on average (heavy state, paper's claim)",
+        heavy_mean > 0.7,
+        format!("{heavy_mean:.3}"),
+    );
+    let light_above = fig11.series[0]
+        .points
+        .iter()
+        .zip(&fig11.series[1].points)
+        .all(|(h, l)| l.y >= h.y - 0.03);
+    c.check(
+        "Fig.11: light state at or above heavy state",
+        light_above,
+        String::new(),
+    );
+    for s in &fig12.series {
+        let first = s.points.first().unwrap().y;
+        let last = s.points.last().unwrap().y;
+        c.check(
+            &format!("Fig.12: energy roughly flat in heterogeneity ({})", s.label),
+            last / first < 1.4 && first / last < 1.4,
+            format!("{first:.3} -> {last:.3}"),
+        );
+    }
+
+    println!();
+    if c.failures == 0 {
+        println!("all shape claims reproduced");
+    } else {
+        println!("{} claim(s) failed", c.failures);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,207 @@
+//! Scheduler construction and (replicated) scenario execution.
+
+use crate::config::Scenario;
+use adaptive_rl::{AdaptiveRl, AdaptiveRlConfig};
+use baselines::{
+    GreedyEdf, OnlineRl, OnlineRlConfig, PredictionBased, PredictionConfig, QPlusConfig,
+    QPlusLearning, RoundRobin,
+};
+use platform::{ExecEngine, RunResult};
+
+/// Which policy to run. Carries the policy's configuration so ablations
+/// and sweeps are expressed as plain values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerKind {
+    /// The paper's contribution.
+    Adaptive(AdaptiveRlConfig),
+    /// Tesauro-style power controller.
+    Online(OnlineRlConfig),
+    /// Tan-style DPM learner.
+    QPlus(QPlusConfig),
+    /// Berral-style consolidation.
+    Prediction(PredictionConfig),
+    /// Non-learning reference.
+    RoundRobin,
+    /// Non-learning reference.
+    GreedyEdf,
+}
+
+impl SchedulerKind {
+    /// The four policies of Experiment 1 with their default settings, in
+    /// the paper's legend order.
+    pub fn paper_four() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Adaptive(AdaptiveRlConfig::default()),
+            SchedulerKind::Online(OnlineRlConfig::default()),
+            SchedulerKind::QPlus(QPlusConfig::default()),
+            SchedulerKind::Prediction(PredictionConfig::default()),
+        ]
+    }
+
+    /// Display name matching the scheduler's `name()`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Adaptive(_) => "Adaptive RL",
+            SchedulerKind::Online(_) => "Online RL",
+            SchedulerKind::QPlus(_) => "Q+ learning",
+            SchedulerKind::Prediction(_) => "Prediction-based learning",
+            SchedulerKind::RoundRobin => "Round-robin",
+            SchedulerKind::GreedyEdf => "Greedy EDF",
+        }
+    }
+
+    /// Re-seeds the policy's own RNG from a run seed so replications
+    /// differ, deterministically.
+    fn with_seed(&self, seed: u64) -> SchedulerKind {
+        let mut kind = self.clone();
+        match &mut kind {
+            SchedulerKind::Adaptive(c) => c.seed = seed ^ 0xA11,
+            SchedulerKind::Online(c) => c.seed = seed ^ 0x011,
+            SchedulerKind::QPlus(c) => c.seed = seed ^ 0x901,
+            SchedulerKind::Prediction(c) => c.seed = seed ^ 0x9E1,
+            SchedulerKind::RoundRobin | SchedulerKind::GreedyEdf => {}
+        }
+        kind
+    }
+}
+
+/// Runs one scenario under one policy.
+pub fn run_scenario(scenario: &Scenario, kind: &SchedulerKind) -> RunResult {
+    let (platform, tasks) = scenario.build();
+    let sites = platform.num_sites();
+    let engine = ExecEngine::new(scenario.exec);
+    let seeded = kind.with_seed(scenario.seed);
+    match seeded {
+        SchedulerKind::Adaptive(cfg) => {
+            let mut s = AdaptiveRl::new(sites, cfg);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::Online(cfg) => {
+            let mut s = OnlineRl::new(sites, cfg);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::QPlus(cfg) => {
+            let mut s = QPlusLearning::new(sites, cfg);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::Prediction(cfg) => {
+            let mut s = PredictionBased::new(sites, cfg);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::RoundRobin => {
+            let mut s = RoundRobin::new(sites);
+            engine.run(platform, tasks, &mut s)
+        }
+        SchedulerKind::GreedyEdf => {
+            let mut s = GreedyEdf::new(sites);
+            engine.run(platform, tasks, &mut s)
+        }
+    }
+}
+
+/// Runs `reps` replications (seeds `base_seed + i`), in parallel across
+/// available cores via crossbeam scoped threads. Results are returned in
+/// replication order, so aggregation stays deterministic regardless of
+/// scheduling.
+pub fn run_replicated(scenario: &Scenario, kind: &SchedulerKind, reps: u32) -> Vec<RunResult> {
+    assert!(reps > 0, "need at least one replication");
+    let mut slots: Vec<Option<RunResult>> = (0..reps).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let mut sc = scenario.clone();
+            sc.seed = scenario.seed.wrapping_add(i as u64);
+            let kind = kind.clone();
+            scope.spawn(move |_| {
+                *slot = Some(run_scenario(&sc, &kind));
+            });
+        }
+    })
+    .expect("replication threads must not panic");
+    slots.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+/// Mean of `metric` over replications of a scenario.
+pub fn replicated_mean(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    reps: u32,
+    metric: impl Fn(&RunResult) -> f64,
+) -> f64 {
+    let runs = run_replicated(scenario, kind, reps);
+    runs.iter().map(&metric).sum::<f64>() / runs.len() as f64
+}
+
+/// Full statistics (mean, spread, extremes) of `metric` across
+/// replications — for reporting replication variability alongside figure
+/// points.
+pub fn replicated_stats(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    reps: u32,
+    metric: impl Fn(&RunResult) -> f64,
+) -> simcore::RunningStats {
+    let runs = run_replicated(scenario, kind, reps);
+    let mut stats = simcore::RunningStats::new();
+    for r in &runs {
+        stats.push(metric(r));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_completes_a_small_scenario() {
+        let sc = Scenario::small(3, 80, 0.5);
+        let mut kinds = SchedulerKind::paper_four();
+        kinds.push(SchedulerKind::RoundRobin);
+        kinds.push(SchedulerKind::GreedyEdf);
+        for kind in kinds {
+            let r = run_scenario(&sc, &kind);
+            assert_eq!(
+                r.incomplete,
+                0,
+                "{} left tasks behind ({})",
+                kind.label(),
+                r.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn replications_differ_but_are_deterministic() {
+        let sc = Scenario::small(5, 60, 0.5);
+        let kind = SchedulerKind::Adaptive(AdaptiveRlConfig::default());
+        let a = run_replicated(&sc, &kind, 2);
+        let b = run_replicated(&sc, &kind, 2);
+        assert_eq!(a[0].makespan, b[0].makespan);
+        assert_eq!(a[1].makespan, b[1].makespan);
+        assert_ne!(
+            a[0].makespan, a[1].makespan,
+            "reps must use different seeds"
+        );
+    }
+
+    #[test]
+    fn replicated_stats_agree_with_mean() {
+        let sc = Scenario::small(5, 60, 0.5);
+        let kind = SchedulerKind::GreedyEdf;
+        let stats = replicated_stats(&sc, &kind, 3, |r| r.avg_response_time());
+        let mean = replicated_mean(&sc, &kind, 3, |r| r.avg_response_time());
+        assert_eq!(stats.count(), 3);
+        assert!((stats.mean() - mean).abs() < 1e-12);
+        assert!(stats.min().unwrap() <= stats.max().unwrap());
+    }
+
+    #[test]
+    fn replicated_mean_averages() {
+        let sc = Scenario::small(5, 60, 0.5);
+        let kind = SchedulerKind::RoundRobin;
+        let runs = run_replicated(&sc, &kind, 3);
+        let expect: f64 = runs.iter().map(|r| r.avg_response_time()).sum::<f64>() / 3.0;
+        let got = replicated_mean(&sc, &kind, 3, |r| r.avg_response_time());
+        assert!((got - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! ASCII line charts for terminal reports.
+//!
+//! Good enough to eyeball the *shape* of every reproduced figure straight
+//! from `cargo run -p arl-experiments --bin figN` without a plotting stack.
+
+use simcore::Series;
+
+/// Marker glyphs assigned to series in order.
+const MARKERS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders one or more series into a fixed-size ASCII chart.
+///
+/// All series share the axes; x positions are mapped linearly across the
+/// width, y across the height. Returns a newline-joined string ending with
+/// an axis line and a legend.
+pub fn ascii_chart(series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let points_exist = series.iter().any(|s| !s.is_empty());
+    if !points_exist {
+        return String::from("(no data)\n");
+    }
+    let xs_min = series
+        .iter()
+        .flat_map(|s| s.points.first().map(|p| p.x))
+        .fold(f64::INFINITY, f64::min);
+    let xs_max = series
+        .iter()
+        .flat_map(|s| s.points.last().map(|p| p.x))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let ys_min = series
+        .iter()
+        .filter_map(|s| s.y_min())
+        .fold(f64::INFINITY, f64::min)
+        .min(0.0);
+    let ys_max = series
+        .iter()
+        .filter_map(|s| s.y_max())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let y_span = (ys_max - ys_min).max(1e-12);
+    let x_span = (xs_max - xs_min).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for p in &s.points {
+            let cx = (((p.x - xs_min) / x_span) * (width - 1) as f64).round() as usize;
+            let cy = (((p.y - ys_min) / y_span) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ys_max:>9.2} ")
+        } else if i == height - 1 {
+            format!("{ys_min:>9.2} ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(10));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "{}{:<12.2}{:>width$.2}\n",
+        " ".repeat(11),
+        xs_min,
+        xs_max,
+        width = width.saturating_sub(12)
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", MARKERS[si % MARKERS.len()], s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_single_series() {
+        let s = Series::from_xy("up", &[0.0, 1.0, 2.0], &[0.0, 1.0, 2.0]);
+        let chart = ascii_chart(&[s], 20, 6);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("up"));
+        assert!(chart.lines().count() >= 8);
+    }
+
+    #[test]
+    fn assigns_distinct_markers() {
+        let a = Series::from_xy("a", &[0.0, 1.0], &[0.0, 1.0]);
+        let b = Series::from_xy("b", &[0.0, 1.0], &[1.0, 0.0]);
+        let chart = ascii_chart(&[a, b], 20, 6);
+        assert!(chart.contains('*') && chart.contains('o'));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(ascii_chart(&[], 20, 6), "(no data)\n");
+        let empty = Series::new("e");
+        assert_eq!(ascii_chart(&[empty], 20, 6), "(no data)\n");
+    }
+
+    #[test]
+    fn flat_series_does_not_panic() {
+        let s = Series::from_xy("flat", &[0.0, 1.0, 2.0], &[5.0, 5.0, 5.0]);
+        let chart = ascii_chart(&[s], 30, 5);
+        assert!(chart.contains("flat"));
+    }
+
+    #[test]
+    fn extremes_land_on_chart_edges() {
+        let s = Series::from_xy("diag", &[0.0, 10.0], &[0.0, 1.0]);
+        let chart = ascii_chart(&[s], 24, 6);
+        let rows: Vec<&str> = chart.lines().collect();
+        // Highest y lands in the first grid row, lowest in the last.
+        assert!(rows[0].contains('*'));
+        assert!(rows[5].contains('*'));
+    }
+}

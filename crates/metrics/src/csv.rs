@@ -1,0 +1,92 @@
+//! Hand-rolled CSV output (no external CSV dependency needed for the
+//! simple numeric tables this project emits).
+
+use simcore::Series;
+
+/// Renders a set of series sharing an x axis into CSV:
+/// `x,<label1>,<label2>,…` with one row per distinct x (union of all
+/// series' x values, ascending); missing values are left empty.
+pub fn series_to_csv(series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("x is finite"));
+    xs.dedup();
+
+    let mut out = String::from("x");
+    for s in series {
+        out.push(',');
+        out.push_str(&escape(&s.label));
+    }
+    out.push('\n');
+    for &x in &xs {
+        out.push_str(&trim_float(x));
+        for s in series {
+            out.push(',');
+            if let Some(y) = s.y_at(x) {
+                out.push_str(&trim_float(y));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Quotes a CSV field when needed.
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Compact float formatting: integers print without a trailing `.0`.
+fn trim_float(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_series_produce_dense_rows() {
+        let a = Series::from_xy("a", &[1.0, 2.0], &[10.0, 20.0]);
+        let b = Series::from_xy("b", &[1.0, 2.0], &[0.5, 1.5]);
+        let csv = series_to_csv(&[a, b]);
+        assert_eq!(csv, "x,a,b\n1,10,0.5\n2,20,1.5\n");
+    }
+
+    #[test]
+    fn misaligned_series_leave_gaps() {
+        let a = Series::from_xy("a", &[1.0], &[10.0]);
+        let b = Series::from_xy("b", &[2.0], &[20.0]);
+        let csv = series_to_csv(&[a, b]);
+        assert_eq!(csv, "x,a,b\n1,10,\n2,,20\n");
+    }
+
+    #[test]
+    fn labels_with_commas_are_quoted() {
+        let a = Series::from_xy("resp, heavy", &[1.0], &[1.0]);
+        let csv = series_to_csv(&[a]);
+        assert!(csv.starts_with("x,\"resp, heavy\"\n"));
+    }
+
+    #[test]
+    fn empty_input_yields_header_only() {
+        assert_eq!(series_to_csv(&[]), "x\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(3.25), "3.25");
+        assert_eq!(trim_float(-2.0), "-2");
+    }
+}

@@ -1,0 +1,25 @@
+//! Minimal feed-forward neural-network substrate.
+//!
+//! §IV.B of the paper: "the structure of our RL system is designed based on
+//! a neural network presented in \[10\]" (Zomaya, Clements & Olariu's
+//! reinforcement-based scheduling framework). This crate provides that
+//! substrate: dense layers, common activations, mean-squared-error loss and
+//! SGD-with-momentum training — enough to realise the value estimator the
+//! Adaptive-RL agent trains by trial and error.
+//!
+//! Everything is plain `Vec<f64>` math: the networks involved are tiny
+//! (a handful of inputs, one hidden layer), so clarity beats BLAS here.
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod layer;
+pub mod loss;
+pub mod network;
+pub mod optimizer;
+
+pub use activation::Activation;
+pub use layer::Dense;
+pub use loss::{mse, mse_grad};
+pub use network::Mlp;
+pub use optimizer::Sgd;

@@ -1,0 +1,64 @@
+//! Mean-squared-error loss.
+
+/// `MSE = mean((pred − target)²)`.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    assert!(!pred.is_empty(), "empty prediction");
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Gradient of [`mse`] w.r.t. the predictions: `2 (pred − target) / n`.
+pub fn mse_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    let n = pred.len() as f64;
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| 2.0 * (p - t) / n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_at_perfect_prediction() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // errors 1 and 3 -> (1 + 9) / 2 = 5
+        assert_eq!(mse(&[1.0, 0.0], &[0.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let pred = [0.4, -1.2, 2.0];
+        let target = [0.0, 1.0, 2.5];
+        let g = mse_grad(&pred, &target);
+        let h = 1e-7;
+        for k in 0..3 {
+            let mut p = pred;
+            p[k] += h;
+            let up = mse(&p, &target);
+            p[k] -= 2.0 * h;
+            let dn = mse(&p, &target);
+            let numeric = (up - dn) / (2.0 * h);
+            assert!((numeric - g[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = mse(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Multi-layer perceptron assembled from dense layers.
+
+use crate::activation::Activation;
+use crate::layer::{Dense, DenseGrads};
+use crate::loss::{mse, mse_grad};
+use crate::optimizer::Sgd;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network trained online with SGD — the Adaptive-RL agent's
+/// value estimator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    optimizer: Sgd,
+    steps: u64,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer widths, e.g. `[4, 8, 1]` for a
+    /// 4-input, one-hidden-layer, scalar-output net. Hidden layers use
+    /// `hidden_act`; the output layer is linear.
+    ///
+    /// # Panics
+    /// Panics with fewer than two widths.
+    pub fn new(widths: &[usize], hidden_act: Activation, optimizer: Sgd, seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut layers = Vec::with_capacity(widths.len() - 1);
+        for (i, pair) in widths.windows(2).enumerate() {
+            let act = if i == widths.len() - 2 {
+                Activation::Identity
+            } else {
+                hidden_act
+            };
+            layers.push(Dense::new(
+                pair[0],
+                pair[1],
+                act,
+                seed.wrapping_add(i as u64),
+            ));
+        }
+        Mlp {
+            layers,
+            optimizer,
+            steps: 0,
+        }
+    }
+
+    /// Input width.
+    pub fn input_width(&self) -> usize {
+        self.layers[0].inputs
+    }
+
+    /// Output width.
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("non-empty").outputs
+    }
+
+    /// Forward pass.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let (mut pre, mut out) = (Vec::new(), Vec::new());
+        for layer in &self.layers {
+            layer.forward(&cur, &mut pre, &mut out);
+            std::mem::swap(&mut cur, &mut out);
+        }
+        cur
+    }
+
+    /// Scalar convenience for single-output networks.
+    ///
+    /// # Panics
+    /// Panics if the output width is not 1.
+    pub fn predict_scalar(&self, x: &[f64]) -> f64 {
+        assert_eq!(self.output_width(), 1, "predict_scalar needs a scalar head");
+        self.predict(x)[0]
+    }
+
+    /// One online SGD step on a single example; returns the pre-update MSE.
+    pub fn train_step(&mut self, x: &[f64], target: &[f64]) -> f64 {
+        // Forward, remembering per-layer inputs and pre-activations.
+        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut pres: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            let (mut pre, mut out) = (Vec::new(), Vec::new());
+            layer.forward(&cur, &mut pre, &mut out);
+            inputs.push(cur);
+            pres.push(pre);
+            cur = out;
+        }
+        let loss = mse(&cur, target);
+        // Backward.
+        let mut dloss = mse_grad(&cur, target);
+        let mut grads: Vec<DenseGrads> =
+            self.layers.iter().map(|_| DenseGrads::default()).collect();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            dloss = layer.backward(&inputs[i], &pres[i], &dloss, &mut grads[i]);
+        }
+        // Update.
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (dw, db) = self.optimizer.step(i, &grads[i].weights, &grads[i].biases);
+            layer.apply_update(&dw, &db);
+        }
+        self.steps += 1;
+        loss
+    }
+
+    /// Number of training steps taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let net = Mlp::new(&[4, 8, 2], Activation::Tanh, Sgd::new(0.01, 0.0), 1);
+        assert_eq!(net.input_width(), 4);
+        assert_eq!(net.output_width(), 2);
+        assert_eq!(net.predict(&[0.1, 0.2, 0.3, 0.4]).len(), 2);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn learns_a_linear_map() {
+        // y = 2x + 1, single linear layer can represent it exactly.
+        let mut net = Mlp::new(&[1, 1], Activation::Identity, Sgd::new(0.05, 0.0), 2);
+        for i in 0..2000 {
+            let x = (i % 20) as f64 / 10.0 - 1.0;
+            net.train_step(&[x], &[2.0 * x + 1.0]);
+        }
+        for &x in &[-0.9, 0.0, 0.7] {
+            let y = net.predict_scalar(&[x]);
+            assert!((y - (2.0 * x + 1.0)).abs() < 0.05, "f({x}) = {y}");
+        }
+    }
+
+    #[test]
+    fn learns_xor() {
+        let cases: [([f64; 2], f64); 4] = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Tanh, Sgd::new(0.1, 0.9), 3);
+        for epoch in 0..4000 {
+            for (x, y) in &cases {
+                net.train_step(x, &[*y]);
+            }
+            if epoch % 500 == 0 {
+                // keep iterating
+            }
+        }
+        for (x, y) in &cases {
+            let p = net.predict_scalar(x);
+            assert!((p - y).abs() < 0.2, "xor({x:?}) = {p}, want {y}");
+        }
+        assert_eq!(net.steps(), 16_000);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut net = Mlp::new(&[2, 6, 1], Activation::Relu, Sgd::new(0.02, 0.5), 5);
+        let x = [0.4, -0.3];
+        let target = [0.8];
+        let first = net.train_step(&x, &target);
+        let mut last = first;
+        for _ in 0..200 {
+            last = net.train_step(&x, &target);
+        }
+        assert!(last < first * 0.01, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut n = Mlp::new(&[2, 4, 1], Activation::Tanh, Sgd::new(0.05, 0.0), 9);
+            for i in 0..50 {
+                let v = i as f64 / 50.0;
+                n.train_step(&[v, 1.0 - v], &[v]);
+            }
+            n.predict_scalar(&[0.3, 0.7])
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar head")]
+    fn predict_scalar_guards_width() {
+        let net = Mlp::new(&[2, 2], Activation::Identity, Sgd::new(0.1, 0.0), 1);
+        let _ = net.predict_scalar(&[0.0, 0.0]);
+    }
+}

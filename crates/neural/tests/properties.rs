@@ -1,0 +1,116 @@
+//! Property-based tests for the neural substrate: gradient checks on
+//! random networks and loss-descent guarantees.
+
+use neural::{mse, mse_grad, Activation, Dense, Mlp, Sgd};
+use proptest::prelude::*;
+
+fn act_strategy() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Identity),
+        Just(Activation::Relu),
+        Just(Activation::Tanh),
+        Just(Activation::Sigmoid),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dense_backward_matches_finite_differences(
+        seed in any::<u64>(),
+        act in act_strategy(),
+        x in prop::collection::vec(-2.0f64..2.0, 2..5),
+        grad_out in -1.0f64..1.0,
+    ) {
+        let layer = Dense::new(x.len(), 2, act, seed);
+        let dloss = [grad_out, -grad_out * 0.5];
+        let (mut pre, mut out) = (Vec::new(), Vec::new());
+        layer.forward(&x, &mut pre, &mut out);
+        // Skip configurations that land on ReLU's kink, where the
+        // numerical derivative is undefined.
+        if act == Activation::Relu && pre.iter().any(|p| p.abs() < 1e-4) {
+            return Ok(());
+        }
+        let mut grads = neural::layer::DenseGrads::default();
+        let dx = layer.backward(&x, &pre, &dloss, &mut grads);
+
+        let loss_of = |l: &Dense, xs: &[f64]| {
+            let (mut p, mut o) = (Vec::new(), Vec::new());
+            l.forward(xs, &mut p, &mut o);
+            o.iter().zip(&dloss).map(|(a, b)| a * b).sum::<f64>()
+        };
+        let h = 1e-6;
+        // Check two weight entries and every input gradient.
+        for k in [0usize, layer.weights.len() - 1] {
+            let mut plus = layer.clone();
+            plus.weights[k] += h;
+            let mut minus = layer.clone();
+            minus.weights[k] -= h;
+            let numeric = (loss_of(&plus, &x) - loss_of(&minus, &x)) / (2.0 * h);
+            prop_assert!((numeric - grads.weights[k]).abs() < 1e-5,
+                "dW[{k}]: numeric {numeric} vs analytic {}", grads.weights[k]);
+        }
+        for k in 0..x.len() {
+            let mut xp = x.clone();
+            xp[k] += h;
+            let mut xm = x.clone();
+            xm[k] -= h;
+            let numeric = (loss_of(&layer, &xp) - loss_of(&layer, &xm)) / (2.0 * h);
+            prop_assert!((numeric - dx[k]).abs() < 1e-5, "dx[{k}]");
+        }
+    }
+
+    #[test]
+    fn repeated_training_on_one_example_descends(
+        seed in any::<u64>(),
+        x in prop::collection::vec(-1.0f64..1.0, 2..4),
+        target in -0.9f64..0.9,
+    ) {
+        let mut net = Mlp::new(&[x.len(), 6, 1], Activation::Tanh, Sgd::new(0.05, 0.0), seed);
+        let first = net.train_step(&x, &[target]);
+        let mut last = first;
+        for _ in 0..300 {
+            last = net.train_step(&x, &[target]);
+        }
+        prop_assert!(last <= first + 1e-12, "loss must not increase: {first} -> {last}");
+        prop_assert!(last < 0.05_f64.max(first * 0.5), "loss must shrink: {first} -> {last}");
+    }
+
+    #[test]
+    fn mse_grad_matches_definition(
+        pred in prop::collection::vec(-10.0f64..10.0, 1..8),
+        offs in prop::collection::vec(-10.0f64..10.0, 1..8),
+    ) {
+        let n = pred.len().min(offs.len());
+        let pred = &pred[..n];
+        let target: Vec<f64> = pred.iter().zip(&offs[..n]).map(|(p, o)| p + o).collect();
+        let g = mse_grad(pred, &target);
+        for (k, gk) in g.iter().enumerate() {
+            let expected = 2.0 * (pred[k] - target[k]) / n as f64;
+            prop_assert!((gk - expected).abs() < 1e-12);
+        }
+        prop_assert!(mse(pred, &target) >= 0.0);
+    }
+
+    #[test]
+    fn activations_are_sane(act in act_strategy(), x in -20.0f64..20.0) {
+        let y = act.apply(x);
+        prop_assert!(y.is_finite());
+        let d = act.derivative(x);
+        prop_assert!(d.is_finite());
+        prop_assert!(d >= 0.0, "all four activations are non-decreasing");
+        match act {
+            Activation::Sigmoid => prop_assert!((0.0..=1.0).contains(&y)),
+            Activation::Tanh => prop_assert!((-1.0..=1.0).contains(&y)),
+            Activation::Relu => prop_assert!(y >= 0.0),
+            Activation::Identity => prop_assert!((y - x).abs() < 1e-12),
+        }
+    }
+
+    #[test]
+    fn prediction_is_deterministic(seed in any::<u64>(), x in prop::collection::vec(-1.0f64..1.0, 3..4)) {
+        let net = Mlp::new(&[3, 4, 2], Activation::Tanh, Sgd::new(0.01, 0.0), seed);
+        prop_assert_eq!(net.predict(&x), net.predict(&x));
+    }
+}

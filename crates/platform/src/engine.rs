@@ -1,0 +1,966 @@
+//! The execution engine: drives a [`Scheduler`] against a [`Platform`] with
+//! a task stream, implementing the paper's execution semantics:
+//!
+//! * a task group occupies **one queue slot** and its members start as a
+//!   unit once the group reaches the head of the queue and enough
+//!   processors are idle (§IV.D.2: "a task group is considered as a single
+//!   arrival unit and dedicated to one slot in the queue"),
+//! * the **split process** (§IV.D.2): while an earlier group still runs,
+//!   idle processors pull EDF-ordered tasks from the next waiting group,
+//! * the two reinforcement feedback signals (§IV.C): the Eq. (9) *error*
+//!   immediately after assignment, the Eq. (8) *reward* when the whole
+//!   group has completed,
+//! * energy accounting per Eqs. (5)–(6) throughout.
+//!
+//! One **learning cycle** = one completed group feedback; Experiment 2's
+//! utilisation-versus-learning-cycle curves are derived from the
+//! [`CycleSample`] log.
+
+use crate::group::{GroupId, TaskGroup};
+use crate::ids::{NodeAddr, ProcAddr};
+use crate::queue::QueuedGroup;
+use crate::scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler};
+use crate::topology::{Platform, PlatformSpec};
+use crate::view::PlatformView;
+use serde::{Deserialize, Serialize};
+use simcore::engine::{Engine, EngineHandle, RunOutcome, Simulation};
+use simcore::time::{SimDuration, SimTime};
+use workload::{Priority, SiteId, Task, TaskId};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecConfig {
+    /// Whether the §IV.D.2 split process is active (ablatable).
+    pub split_enabled: bool,
+    /// Control-tick period; ticks fire while tasks remain outstanding.
+    pub tick_interval: f64,
+    /// Maximum number of simulation events (runaway guard).
+    pub fuse: u64,
+    /// Hard wall on simulated time; the run aborts past this.
+    pub max_time: f64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            split_enabled: true,
+            tick_interval: 5.0,
+            fuse: 50_000_000,
+            max_time: 1.0e7,
+        }
+    }
+}
+
+/// Full per-task outcome record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The task.
+    pub task: TaskId,
+    /// Arrival site.
+    pub site: SiteId,
+    /// Node it executed on.
+    pub node: NodeAddr,
+    /// The group it was merged into.
+    pub group: GroupId,
+    /// Task priority.
+    pub priority: Priority,
+    /// Computational size (MI).
+    pub size_mi: f64,
+    /// Arrival instant.
+    pub arrival: SimTime,
+    /// When its group was enqueued at the node.
+    pub dispatched: SimTime,
+    /// When it began executing.
+    pub started: SimTime,
+    /// When it finished.
+    pub finished: SimTime,
+    /// Its deadline.
+    pub deadline: SimTime,
+    /// Whether it finished by the deadline.
+    pub met: bool,
+    /// Whether it entered execution through the split process.
+    pub split: bool,
+}
+
+impl TaskRecord {
+    /// Response time per Eq. (4)'s summand: waiting plus execution — i.e.
+    /// arrival to completion.
+    pub fn response_time(&self) -> f64 {
+        self.finished.since(self.arrival).as_f64()
+    }
+
+    /// Queueing delay (arrival to execution start).
+    pub fn wait_time(&self) -> f64 {
+        self.started.since(self.arrival).as_f64()
+    }
+
+    /// Execution time.
+    pub fn exec_time(&self) -> f64 {
+        self.finished.since(self.started).as_f64()
+    }
+}
+
+/// One learning-cycle sample: cumulative useful work delivered at the
+/// instant a group feedback was processed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleSample {
+    /// Learning-cycle index (1-based).
+    pub cycle: u64,
+    /// Simulation time of the sample.
+    pub time: f64,
+    /// Cumulative computational work completed across all processors (MI).
+    /// Work — not raw busy time — so that throttled execution (slower,
+    /// same instructions) and sleeping both register as reduced service.
+    pub work_mi: f64,
+}
+
+/// Everything a run produced; the metric layer derives the paper's figures
+/// from this.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The scheduler's name.
+    pub scheduler: String,
+    /// Per-task outcomes, in completion order.
+    pub records: Vec<TaskRecord>,
+    /// Tasks submitted but never completed (0 on a healthy run).
+    pub incomplete: usize,
+    /// Tasks submitted.
+    pub num_tasks: usize,
+    /// Instant the last task completed.
+    pub makespan: f64,
+    /// System energy `ECS` (Eq. 6 summed over nodes) at the makespan.
+    pub total_energy: f64,
+    /// Mean processor utilisation at the makespan.
+    pub mean_utilisation: f64,
+    /// Learning-cycle log for utilisation-vs-cycles curves.
+    pub cycles: Vec<CycleSample>,
+    /// Groups dispatched.
+    pub groups_dispatched: u64,
+    /// Groups completed (= learning cycles).
+    pub groups_completed: u64,
+    /// Task starts that went through the split process.
+    pub split_starts: u64,
+    /// Dispatch commands bounced back to the scheduler.
+    pub rejections: u64,
+    /// Processor population of the platform.
+    pub total_procs: usize,
+    /// Sum of nominal processor speeds (MIPS) — the denominator of the
+    /// work-based utilisation metric.
+    pub total_mips: f64,
+    /// Instant of the last task arrival — the end of the paper's
+    /// "observation period" (completions after it are queue drain).
+    pub arrival_horizon: f64,
+    /// The platform spec the run used.
+    pub platform_spec: PlatformSpec,
+    /// How the event loop ended.
+    pub outcome: String,
+}
+
+impl RunResult {
+    /// Eq. (4) average response time over completed tasks.
+    pub fn avg_response_time(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.response_time()).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Successful rate (§V Exp. 3): deadline-met fraction over submitted
+    /// tasks (`rew_val / N`).
+    pub fn success_rate(&self) -> f64 {
+        if self.num_tasks == 0 {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.met).count() as f64 / self.num_tasks as f64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Arrival(u32),
+    TaskDone(ProcAddr),
+    WakeDone(ProcAddr),
+    Tick,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Partial {
+    node: Option<NodeAddr>,
+    group: Option<GroupId>,
+    dispatched: Option<SimTime>,
+    started: Option<SimTime>,
+    finished: Option<SimTime>,
+    met: bool,
+    split: bool,
+}
+
+struct Driver<'s, S: Scheduler> {
+    platform: Platform,
+    tasks: Vec<Task>,
+    sched: &'s mut S,
+    cfg: ExecConfig,
+    partials: Vec<Partial>,
+    completed: usize,
+    finished_work: f64,
+    cycles: Vec<CycleSample>,
+    cycle: u64,
+    next_group: u64,
+    groups_dispatched: u64,
+    groups_completed: u64,
+    split_starts: u64,
+    rejections: u64,
+    last_completion: SimTime,
+}
+
+impl<S: Scheduler> Driver<'_, S> {
+    /// Starts every task that can start on `addr` right now, per the
+    /// batch-start and split rules. Returns events to schedule.
+    fn start_ready(&mut self, addr: NodeAddr, now: SimTime) -> Vec<(SimTime, Ev)> {
+        let power = self.platform.spec.power;
+        let split_enabled = self.cfg.split_enabled;
+        let mut out = Vec::new();
+        loop {
+            let node = self.platform.node_mut(addr);
+            let throttle = node.throttle;
+            // First group with unstarted members. Completed groups are
+            // removed eagerly, so every group before it is still running.
+            let mut target = None;
+            for (i, g) in node.queue.iter().enumerate() {
+                if g.unstarted() > 0 {
+                    target = Some(i);
+                    break;
+                }
+            }
+            let Some(gi) = target else { break };
+            let (g_len, g_unstarted, g_started) = {
+                let g = node.queue.get(gi).expect("index in range");
+                (g.group.len(), g.unstarted(), g.has_started())
+            };
+            let mut idle = node.idle_procs();
+            // Fastest idle processors serve the earliest deadlines.
+            idle.sort_by(|&a, &b| {
+                node.processors[b]
+                    .speed_mips
+                    .partial_cmp(&node.processors[a].speed_mips)
+                    .expect("speeds are finite")
+            });
+            let (to_start, as_split) = if gi == 0 {
+                if g_started {
+                    // Unit semantics already broken by an earlier split;
+                    // keep it running greedily.
+                    (idle.len().min(g_unstarted), false)
+                } else if idle.len() >= g_len {
+                    (g_len, false)
+                } else {
+                    // Blocked at the head with nothing running ahead of it:
+                    // wake sleepers to cover the deficit, then wait.
+                    let waking = node
+                        .processors
+                        .iter()
+                        .filter(|p| matches!(p.state(), crate::processor::ProcState::Waking { .. }))
+                        .count();
+                    let deficit = g_len.saturating_sub(idle.len() + waking);
+                    if deficit > 0 {
+                        let mut woken = 0;
+                        for i in 0..node.processors.len() {
+                            if woken == deficit {
+                                break;
+                            }
+                            if let Some(until) = node.processors[i].begin_wake(now, &power) {
+                                out.push((
+                                    until,
+                                    Ev::WakeDone(ProcAddr {
+                                        node: addr,
+                                        proc: i as u32,
+                                    }),
+                                ));
+                                woken += 1;
+                            }
+                        }
+                    }
+                    (0, false)
+                }
+            } else if split_enabled {
+                // §IV.D.2: idle processors take EDF tasks from the next
+                // waiting group while the earlier group still runs.
+                (idle.len().min(g_unstarted), true)
+            } else {
+                (0, false)
+            };
+            if to_start == 0 {
+                break;
+            }
+            for &proc_idx in idle.iter().take(to_start) {
+                let (task, group_id) = {
+                    let g = node.queue.get_mut(gi).expect("index in range");
+                    let task = g.group.tasks[g.next_start];
+                    g.next_start += 1;
+                    g.running += 1;
+                    if g.first_start.is_none() {
+                        g.first_start = Some(now);
+                    }
+                    if as_split {
+                        g.split_mode = true;
+                    }
+                    (task, g.group.id)
+                };
+                let finish = node.processors[proc_idx].start_task(
+                    now,
+                    task.id,
+                    group_id,
+                    task.size_mi,
+                    throttle,
+                    &power,
+                );
+                out.push((
+                    finish,
+                    Ev::TaskDone(ProcAddr {
+                        node: addr,
+                        proc: proc_idx as u32,
+                    }),
+                ));
+                let p = &mut self.partials[task.id.0 as usize];
+                p.started = Some(now);
+                p.split = as_split;
+                if as_split {
+                    self.split_starts += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies scheduler commands; returns events to schedule.
+    fn apply(&mut self, cmds: Vec<Command>, now: SimTime) -> Vec<(SimTime, Ev)> {
+        let power = self.platform.spec.power;
+        let mut out = Vec::new();
+        let mut touched: Vec<NodeAddr> = Vec::new();
+        for cmd in cmds {
+            match cmd {
+                Command::Dispatch {
+                    node: addr,
+                    tasks,
+                    policy,
+                } => {
+                    let accept = {
+                        let node = self.platform.node(addr);
+                        !tasks.is_empty()
+                            && tasks.len() <= node.num_processors()
+                            && node.queue.available() > 0
+                    };
+                    if !accept {
+                        self.rejections += 1;
+                        let site = tasks.first().map(|t| t.site).unwrap_or(addr.site);
+                        self.sched.on_rejected(now, site, tasks);
+                        continue;
+                    }
+                    let gid = GroupId(self.next_group);
+                    self.next_group += 1;
+                    let capacity = self.platform.node(addr).processing_capacity();
+                    let group = TaskGroup::new(gid, tasks, policy);
+                    let pw = group.processing_weight();
+                    // Eq. (9): err = |1 − 1 / proc_fitness|, proc_fitness = pw / PC_c.
+                    let error = (1.0 - capacity / pw).abs();
+                    for t in &group.tasks {
+                        let p = &mut self.partials[t.id.0 as usize];
+                        p.node = Some(addr);
+                        p.group = Some(gid);
+                        p.dispatched = Some(now);
+                    }
+                    let size = group.len();
+                    let mut qg = QueuedGroup::new(group, now);
+                    qg.assign_error = error;
+                    self.platform
+                        .node_mut(addr)
+                        .queue
+                        .push(qg)
+                        .expect("availability checked above");
+                    self.groups_dispatched += 1;
+                    let fb = AssignmentFeedback {
+                        group: gid,
+                        node: addr,
+                        policy,
+                        size,
+                        pw,
+                        capacity,
+                        error,
+                    };
+                    self.sched.on_assignment(now, &fb);
+                    if !touched.contains(&addr) {
+                        touched.push(addr);
+                    }
+                }
+                Command::SetThrottle { node, level } => {
+                    self.platform.node_mut(node).set_throttle(level);
+                }
+                Command::Sleep(p) => {
+                    self.platform.node_mut(p.node).processors[p.proc as usize].sleep(now);
+                }
+                Command::Wake(p) => {
+                    if let Some(until) = self.platform.node_mut(p.node).processors[p.proc as usize]
+                        .begin_wake(now, &power)
+                    {
+                        out.push((until, Ev::WakeDone(p)));
+                    }
+                }
+            }
+        }
+        for addr in touched {
+            out.extend(self.start_ready(addr, now));
+        }
+        out
+    }
+
+    /// One dispatch round: ask the scheduler for commands and apply them.
+    fn dispatch_round(&mut self, now: SimTime) -> Vec<(SimTime, Ev)> {
+        let cmds = {
+            let view = PlatformView::new(&self.platform, now);
+            self.sched.dispatch(now, &view)
+        };
+        if cmds.is_empty() {
+            Vec::new()
+        } else {
+            self.apply(cmds, now)
+        }
+    }
+
+    fn handle_task_done(&mut self, proc: ProcAddr, now: SimTime) -> Vec<(SimTime, Ev)> {
+        let addr = proc.node;
+        let (task_id, group_id) =
+            self.platform.node_mut(addr).processors[proc.proc as usize].finish_task(now);
+        let task = self.tasks[task_id.0 as usize];
+        let met = now <= task.deadline;
+        {
+            let p = &mut self.partials[task_id.0 as usize];
+            let started = p.started.expect("finished task must have started");
+            debug_assert!(now > started, "execution takes positive time");
+            self.finished_work += task.size_mi;
+            p.finished = Some(now);
+            p.met = met;
+        }
+        self.completed += 1;
+        self.last_completion = now;
+
+        let node = self.platform.node_mut(addr);
+        let complete = {
+            let g = node
+                .queue
+                .find_mut(group_id)
+                .expect("running group is queued");
+            g.running -= 1;
+            g.done += 1;
+            if met {
+                g.met += 1;
+            }
+            g.is_complete()
+        };
+        let mut out = Vec::new();
+        if complete {
+            let qg = node.queue.remove(group_id).expect("group present");
+            self.groups_completed += 1;
+            self.cycle += 1;
+            self.cycles.push(CycleSample {
+                cycle: self.cycle,
+                time: now.as_f64(),
+                work_mi: self.finished_work,
+            });
+            let fb = GroupFeedback {
+                group: group_id,
+                node: addr,
+                policy: qg.group.policy,
+                size: qg.group.len(),
+                reward: qg.met,
+                pw: qg.pw,
+                error: qg.assign_error,
+                enqueued_at: qg.enqueued_at,
+                first_start: qg.first_start,
+                completed_at: now,
+                split: qg.split_mode,
+            };
+            self.sched.on_group_complete(now, &fb);
+        }
+        out.extend(self.start_ready(addr, now));
+        out.extend(self.dispatch_round(now));
+        out
+    }
+}
+
+impl<S: Scheduler> Simulation for Driver<'_, S> {
+    type Event = Ev;
+
+    fn on_event(&mut self, now: SimTime, event: Ev, handle: &mut EngineHandle<'_, Ev>) -> bool {
+        if now.as_f64() > self.cfg.max_time {
+            return false;
+        }
+        let scheduled = match event {
+            Ev::Arrival(idx) => {
+                let task = self.tasks[idx as usize];
+                self.sched.on_arrivals(now, task.site, vec![task]);
+                self.dispatch_round(now)
+            }
+            Ev::TaskDone(proc) => self.handle_task_done(proc, now),
+            Ev::WakeDone(proc) => {
+                self.platform.node_mut(proc.node).processors[proc.proc as usize].finish_wake(now);
+                self.start_ready(proc.node, now)
+            }
+            Ev::Tick => {
+                let mut evs = {
+                    let cmds = {
+                        let view = PlatformView::new(&self.platform, now);
+                        self.sched.on_tick(now, &view)
+                    };
+                    if cmds.is_empty() {
+                        Vec::new()
+                    } else {
+                        self.apply(cmds, now)
+                    }
+                };
+                evs.extend(self.dispatch_round(now));
+                if self.completed < self.tasks.len() {
+                    handle.schedule_in(SimDuration::new(self.cfg.tick_interval), Ev::Tick);
+                }
+                evs
+            }
+        };
+        for (t, ev) in scheduled {
+            handle.schedule_at(t, ev);
+        }
+        true
+    }
+}
+
+/// Runs one scheduler over one platform and task stream.
+///
+/// ```
+/// use platform::{ExecConfig, ExecEngine, Platform, PlatformSpec};
+/// use platform::{Command, GroupPolicy, PlatformView, Scheduler};
+/// use simcore::rng::RngStream;
+/// use simcore::SimTime;
+/// use workload::{SiteId, Task, Workload, WorkloadSpec};
+///
+/// // A two-line FCFS policy…
+/// struct Fcfs(Vec<Task>);
+/// impl Scheduler for Fcfs {
+///     fn name(&self) -> &str { "fcfs" }
+///     fn on_arrivals(&mut self, _: SimTime, _: SiteId, tasks: Vec<Task>) {
+///         self.0.extend(tasks);
+///     }
+///     fn dispatch(&mut self, _: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
+///         let mut cmds = Vec::new();
+///         let mut kept = Vec::new();
+///         for t in self.0.drain(..) {
+///             match view.site_nodes(t.site).find(|n| n.queue_available() > 0) {
+///                 Some(n) => cmds.push(Command::Dispatch {
+///                     node: n.addr(), tasks: vec![t], policy: GroupPolicy::Mixed,
+///                 }),
+///                 None => kept.push(t),
+///             }
+///         }
+///         self.0 = kept;
+///         cmds
+///     }
+/// }
+///
+/// // …run against a generated platform and workload.
+/// let rng = RngStream::root(1);
+/// let platform = Platform::generate(PlatformSpec::small(1, 2, 4), &rng.derive("p"));
+/// let wl = Workload::generate(WorkloadSpec::paper(50, 1, platform.reference_speed()),
+///                             &rng.derive("w"));
+/// let mut sched = Fcfs(Vec::new());
+/// let result = ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched);
+/// assert_eq!(result.incomplete, 0);
+/// assert!(result.total_energy > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExecEngine {
+    /// Engine configuration.
+    pub cfg: ExecConfig,
+}
+
+impl ExecEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(cfg: ExecConfig) -> Self {
+        ExecEngine { cfg }
+    }
+
+    /// Runs the simulation to completion and collects the results.
+    ///
+    /// # Panics
+    /// Panics if task ids are not dense from 0 (as the workload generator
+    /// produces them).
+    pub fn run<S: Scheduler>(
+        &self,
+        platform: Platform,
+        tasks: Vec<Task>,
+        sched: &mut S,
+    ) -> RunResult {
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.id.0, i as u64, "task ids must be dense from 0");
+        }
+        let total_procs = platform.num_processors();
+        let total_mips: f64 = platform
+            .sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .map(|n| n.raw_speed())
+            .sum();
+        let spec = platform.spec.clone();
+        let num_tasks = tasks.len();
+        let arrival_horizon = tasks
+            .iter()
+            .map(|t| t.arrival.as_f64())
+            .fold(0.0_f64, f64::max);
+        let name = sched.name().to_string();
+        let mut driver = Driver {
+            platform,
+            partials: vec![Partial::default(); num_tasks],
+            tasks,
+            sched,
+            cfg: self.cfg,
+            completed: 0,
+            finished_work: 0.0,
+            cycles: Vec::new(),
+            cycle: 0,
+            next_group: 0,
+            groups_dispatched: 0,
+            groups_completed: 0,
+            split_starts: 0,
+            rejections: 0,
+            last_completion: SimTime::ZERO,
+        };
+        let mut engine = Engine::new().with_fuse(self.cfg.fuse);
+        for (i, t) in driver.tasks.iter().enumerate() {
+            engine.prime(t.arrival, Ev::Arrival(i as u32));
+        }
+        engine.prime(SimTime::new(self.cfg.tick_interval), Ev::Tick);
+        let outcome = engine.run(&mut driver);
+
+        let makespan = driver.last_completion;
+        let records: Vec<TaskRecord> = driver
+            .partials
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| {
+                let finished = p.finished?;
+                let task = driver.tasks[i];
+                Some(TaskRecord {
+                    task: task.id,
+                    site: task.site,
+                    node: p.node.expect("finished implies dispatched"),
+                    group: p.group.expect("finished implies grouped"),
+                    priority: task.priority,
+                    size_mi: task.size_mi,
+                    arrival: task.arrival,
+                    dispatched: p.dispatched.expect("finished implies dispatched"),
+                    started: p.started.expect("finished implies started"),
+                    finished,
+                    deadline: task.deadline,
+                    met: p.met,
+                    split: p.split,
+                })
+            })
+            .collect();
+        let incomplete = num_tasks - records.len();
+        RunResult {
+            scheduler: name,
+            incomplete,
+            num_tasks,
+            makespan: makespan.as_f64(),
+            total_energy: driver.platform.total_energy_at(makespan),
+            mean_utilisation: driver.platform.mean_utilisation_at(makespan),
+            cycles: driver.cycles,
+            groups_dispatched: driver.groups_dispatched,
+            groups_completed: driver.groups_completed,
+            split_starts: driver.split_starts,
+            rejections: driver.rejections,
+            total_procs,
+            total_mips,
+            arrival_horizon,
+            platform_spec: spec,
+            records,
+            outcome: format!("{outcome:?}"),
+        }
+    }
+}
+
+/// Formats a [`RunOutcome`] (re-exported for harness assertions).
+pub fn outcome_name(o: RunOutcome) -> &'static str {
+    match o {
+        RunOutcome::Drained => "Drained",
+        RunOutcome::Stopped => "Stopped",
+        RunOutcome::FuseBlown => "FuseBlown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupPolicy;
+    use crate::topology::PlatformSpec;
+    use simcore::rng::RngStream;
+    use workload::{Workload, WorkloadSpec};
+
+    /// Minimal FCFS scheduler: dispatches each task alone to the node with
+    /// the most free queue slots in its site.
+    struct Fcfs {
+        pending: Vec<Task>,
+    }
+
+    impl Scheduler for Fcfs {
+        fn name(&self) -> &str {
+            "fcfs-test"
+        }
+        fn on_arrivals(&mut self, _now: SimTime, _site: SiteId, tasks: Vec<Task>) {
+            self.pending.extend(tasks);
+        }
+        fn dispatch(&mut self, _now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
+            let mut cmds = Vec::new();
+            let mut remaining = Vec::new();
+            for task in self.pending.drain(..) {
+                let best = view
+                    .site_nodes(task.site)
+                    .filter(|n| n.queue_available() > 0)
+                    .max_by(|a, b| a.queue_available().cmp(&b.queue_available()));
+                match best {
+                    Some(n) => cmds.push(Command::Dispatch {
+                        node: n.addr(),
+                        tasks: vec![task],
+                        policy: GroupPolicy::Mixed,
+                    }),
+                    None => remaining.push(task),
+                }
+            }
+            self.pending = remaining;
+            cmds
+        }
+    }
+
+    fn run_fcfs(n_tasks: usize, split: bool) -> RunResult {
+        let rng = RngStream::root(11);
+        let platform = Platform::generate(PlatformSpec::small(2, 3, 4), &rng.derive("p"));
+        let wl = Workload::generate(
+            WorkloadSpec::paper(n_tasks, 2, platform.reference_speed()),
+            &rng.derive("w"),
+        );
+        let mut sched = Fcfs {
+            pending: Vec::new(),
+        };
+        let engine = ExecEngine::new(ExecConfig {
+            split_enabled: split,
+            ..ExecConfig::default()
+        });
+        engine.run(platform, wl.tasks, &mut sched)
+    }
+
+    #[test]
+    fn all_tasks_complete() {
+        let r = run_fcfs(200, true);
+        assert_eq!(r.incomplete, 0);
+        assert_eq!(r.records.len(), 200);
+        assert_eq!(r.groups_completed, r.groups_dispatched);
+        assert!(r.makespan > 0.0);
+        assert_eq!(r.outcome, "Drained");
+    }
+
+    #[test]
+    fn records_are_causally_ordered() {
+        let r = run_fcfs(150, true);
+        for rec in &r.records {
+            assert!(rec.dispatched >= rec.arrival, "dispatch before arrival");
+            assert!(rec.started >= rec.dispatched, "start before dispatch");
+            assert!(rec.finished > rec.started, "finish before start");
+            assert!(rec.response_time() > 0.0);
+            assert_eq!(rec.met, rec.finished <= rec.deadline);
+        }
+    }
+
+    #[test]
+    fn energy_is_positive_and_bounded() {
+        let r = run_fcfs(100, true);
+        // Lower bound: every proc idling the whole run.
+        // Upper bound: every proc at global peak (95 W) the whole run.
+        // Node energy is the per-proc mean, so ECS sums node counts.
+        let nodes = 6.0;
+        let lo = 48.0 * r.makespan * nodes * 0.99;
+        let hi = 95.0 * r.makespan * nodes * 1.01;
+        assert!(
+            r.total_energy > lo && r.total_energy < hi,
+            "energy {} not in [{lo}, {hi}]",
+            r.total_energy
+        );
+    }
+
+    #[test]
+    fn utilisation_in_unit_range() {
+        let r = run_fcfs(100, true);
+        assert!(r.mean_utilisation > 0.0 && r.mean_utilisation <= 1.0);
+    }
+
+    #[test]
+    fn cycles_are_monotone() {
+        let r = run_fcfs(120, true);
+        assert_eq!(r.cycles.len() as u64, r.groups_completed);
+        for w in r.cycles.windows(2) {
+            assert!(w[1].cycle == w[0].cycle + 1);
+            assert!(w[1].time >= w[0].time);
+            assert!(w[1].work_mi >= w[0].work_mi);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run_fcfs(100, true);
+        let b = run_fcfs(100, true);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_energy, b.total_energy);
+        assert_eq!(a.records.len(), b.records.len());
+    }
+
+    #[test]
+    fn single_task_groups_make_split_irrelevant() {
+        // With one task per group, the split path never triggers.
+        let r = run_fcfs(100, true);
+        assert_eq!(r.split_starts, 0);
+    }
+
+    /// Scheduler that merges all pending site tasks into one group of up to
+    /// 4 to exercise batch starts and splits.
+    struct Grouper {
+        pending: Vec<Task>,
+    }
+
+    impl Scheduler for Grouper {
+        fn name(&self) -> &str {
+            "grouper-test"
+        }
+        fn on_arrivals(&mut self, _now: SimTime, _site: SiteId, tasks: Vec<Task>) {
+            self.pending.extend(tasks);
+        }
+        fn dispatch(&mut self, _now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
+            let mut cmds = Vec::new();
+            let mut used_slots: Vec<(NodeAddr, usize)> = Vec::new();
+            while !self.pending.is_empty() {
+                let site = self.pending[0].site;
+                let mut group = Vec::new();
+                let mut rest = Vec::new();
+                for t in self.pending.drain(..) {
+                    if t.site == site && group.len() < 4 {
+                        group.push(t);
+                    } else {
+                        rest.push(t);
+                    }
+                }
+                self.pending = rest;
+                let slots_used = |addr: NodeAddr, used: &[(NodeAddr, usize)]| {
+                    used.iter()
+                        .find(|(a, _)| *a == addr)
+                        .map(|(_, c)| *c)
+                        .unwrap_or(0)
+                };
+                let best = view
+                    .site_nodes(site)
+                    .filter(|n| {
+                        n.queue_available() > slots_used(n.addr(), &used_slots)
+                            && n.num_processors() >= group.len()
+                    })
+                    .max_by(|a, b| {
+                        a.processing_capacity()
+                            .partial_cmp(&b.processing_capacity())
+                            .unwrap()
+                    });
+                match best {
+                    Some(n) => {
+                        let addr = n.addr();
+                        match used_slots.iter_mut().find(|(a, _)| *a == addr) {
+                            Some((_, c)) => *c += 1,
+                            None => used_slots.push((addr, 1)),
+                        }
+                        cmds.push(Command::Dispatch {
+                            node: addr,
+                            tasks: group,
+                            policy: GroupPolicy::Mixed,
+                        });
+                    }
+                    None => {
+                        // No room anywhere: keep the tasks pending.
+                        self.pending.extend(group);
+                        break;
+                    }
+                }
+            }
+            cmds
+        }
+    }
+
+    #[test]
+    fn grouped_execution_completes_and_splits() {
+        let rng = RngStream::root(21);
+        let platform = Platform::generate(PlatformSpec::small(1, 2, 4), &rng.derive("p"));
+        let mut spec = WorkloadSpec::paper(300, 1, platform.reference_speed());
+        spec.mean_interarrival = 0.4; // oversubscribe to force queueing and grouping
+        let wl = Workload::generate(spec, &rng.derive("w"));
+        let mut sched = Grouper {
+            pending: Vec::new(),
+        };
+        let engine = ExecEngine::new(ExecConfig::default());
+        let r = engine.run(platform, wl.tasks, &mut sched);
+        assert_eq!(r.incomplete, 0, "outcome {}", r.outcome);
+        assert!(
+            r.split_starts > 0,
+            "heavy grouped load should trigger splits"
+        );
+        assert!(
+            r.groups_dispatched < 300,
+            "tasks should actually be grouped"
+        );
+    }
+
+    #[test]
+    fn split_disabled_never_splits() {
+        let rng = RngStream::root(21);
+        let platform = Platform::generate(PlatformSpec::small(1, 2, 4), &rng.derive("p"));
+        let mut spec = WorkloadSpec::paper(300, 1, platform.reference_speed());
+        spec.mean_interarrival = 1.0;
+        let wl = Workload::generate(spec, &rng.derive("w"));
+        let mut sched = Grouper {
+            pending: Vec::new(),
+        };
+        let engine = ExecEngine::new(ExecConfig {
+            split_enabled: false,
+            ..ExecConfig::default()
+        });
+        let r = engine.run(platform, wl.tasks, &mut sched);
+        assert_eq!(r.incomplete, 0);
+        assert_eq!(r.split_starts, 0);
+        for rec in &r.records {
+            assert!(!rec.split);
+        }
+    }
+
+    #[test]
+    fn split_improves_throughput_under_load() {
+        let mk = |split: bool| {
+            let rng = RngStream::root(33);
+            let platform = Platform::generate(PlatformSpec::small(1, 2, 5), &rng.derive("p"));
+            let mut spec = WorkloadSpec::paper(400, 1, platform.reference_speed());
+            spec.mean_interarrival = 0.8;
+            let wl = Workload::generate(spec, &rng.derive("w"));
+            let mut sched = Grouper {
+                pending: Vec::new(),
+            };
+            ExecEngine::new(ExecConfig {
+                split_enabled: split,
+                ..ExecConfig::default()
+            })
+            .run(platform, wl.tasks, &mut sched)
+        };
+        let with = mk(true);
+        let without = mk(false);
+        assert!(
+            with.avg_response_time() <= without.avg_response_time(),
+            "split should not hurt response time: {} vs {}",
+            with.avg_response_time(),
+            without.avg_response_time()
+        );
+    }
+}

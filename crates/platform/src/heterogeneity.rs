@@ -1,0 +1,111 @@
+//! Controlled resource heterogeneity (Experiment 3).
+//!
+//! §V's third experiment varies "the heterogeneity of resources according
+//! to the service coefficient of variation" (after Fei et al. \[24\]): a rate
+//! of 0.1 means processing capacities differ little, 0.9 means they differ
+//! wildly. We realise a target coefficient of variation `h` by drawing
+//! speeds from a uniform distribution centred on the nominal mean with
+//! half-width `√3 · h · mean` (a U[a, b] distribution has
+//! `σ = (b − a) / (2√3)`), clamped to a positive floor.
+//!
+//! Clamping slightly compresses the realised CV at the top of the range;
+//! [`realized_cv`] lets callers (and tests) measure what was actually
+//! produced.
+
+use simcore::rng::RngStream;
+
+/// Absolute minimum speed any processor can be assigned (MIPS).
+pub const SPEED_FLOOR_MIPS: f64 = 50.0;
+
+/// Relative floor: no processor is slower than this fraction of the mean.
+/// \[24\]'s platforms vary capacity without degenerate near-zero servers; a
+/// third of the mean keeps the worst-case execution-time blow-up bounded
+/// (and with it the Fig. 12 energy curve's flatness) while still letting
+/// the CV knob spread speeds widely.
+pub const RELATIVE_SPEED_FLOOR: f64 = 0.35;
+
+/// Draws `n` processor speeds with mean `mean_mips` and target coefficient
+/// of variation `cv`.
+///
+/// # Panics
+/// Panics if `mean_mips <= 0`, `cv < 0`, or `n == 0`.
+pub fn speeds_with_cv(n: usize, mean_mips: f64, cv: f64, rng: &mut RngStream) -> Vec<f64> {
+    assert!(n > 0, "need at least one speed");
+    assert!(mean_mips > 0.0, "mean speed must be positive");
+    assert!(cv >= 0.0, "coefficient of variation must be non-negative");
+    let half_width = 3f64.sqrt() * cv * mean_mips;
+    let floor = (mean_mips * RELATIVE_SPEED_FLOOR).max(SPEED_FLOOR_MIPS);
+    (0..n)
+        .map(|_| {
+            let raw = if half_width == 0.0 {
+                mean_mips
+            } else {
+                rng.uniform(mean_mips - half_width, mean_mips + half_width)
+            };
+            raw.max(floor)
+        })
+        .collect()
+}
+
+/// Sample coefficient of variation of a speed list.
+pub fn realized_cv(speeds: &[f64]) -> f64 {
+    if speeds.len() < 2 {
+        return 0.0;
+    }
+    let n = speeds.len() as f64;
+    let mean = speeds.iter().sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = speeds.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_cv_is_tight() {
+        let mut rng = RngStream::root(1).derive("het");
+        let speeds = speeds_with_cv(2000, 750.0, 0.1, &mut rng);
+        let cv = realized_cv(&speeds);
+        assert!((cv - 0.1).abs() < 0.02, "realised cv {cv}");
+        assert!(speeds.iter().all(|&s| s >= 750.0 * RELATIVE_SPEED_FLOOR));
+    }
+
+    #[test]
+    fn mid_cv_matches_target() {
+        let mut rng = RngStream::root(2).derive("het");
+        let speeds = speeds_with_cv(4000, 750.0, 0.5, &mut rng);
+        let cv = realized_cv(&speeds);
+        // The relative floor compresses the target slightly.
+        assert!((cv - 0.5).abs() < 0.08, "realised cv {cv}");
+    }
+
+    #[test]
+    fn high_cv_is_compressed_but_ordered() {
+        let mut rng = RngStream::root(3).derive("het");
+        let lo = realized_cv(&speeds_with_cv(4000, 750.0, 0.3, &mut rng));
+        let hi = realized_cv(&speeds_with_cv(4000, 750.0, 0.9, &mut rng));
+        assert!(hi > lo + 0.15, "cv must grow with the knob: {lo} vs {hi}");
+        // Clamping keeps all speeds usable.
+        let speeds = speeds_with_cv(4000, 750.0, 0.9, &mut rng);
+        let floor = 750.0 * RELATIVE_SPEED_FLOOR;
+        assert!(speeds.iter().all(|&s| s >= floor));
+    }
+
+    #[test]
+    fn zero_cv_is_homogeneous() {
+        let mut rng = RngStream::root(4).derive("het");
+        let speeds = speeds_with_cv(10, 750.0, 0.0, &mut rng);
+        assert!(speeds.iter().all(|&s| s == 750.0));
+        assert_eq!(realized_cv(&speeds), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(realized_cv(&[]), 0.0);
+        assert_eq!(realized_cv(&[500.0]), 0.0);
+    }
+}

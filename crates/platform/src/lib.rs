@@ -1,0 +1,46 @@
+//! Heterogeneous PDCS platform model and execution engine.
+//!
+//! Implements §III.B (system model) and §III.C (energy model) of the paper,
+//! plus the event-driven execution engine that every scheduler — the
+//! Adaptive-RL contribution and all baselines — plugs into through the
+//! [`Scheduler`] trait.
+//!
+//! Layout:
+//!
+//! * [`ids`] — node / processor addressing,
+//! * [`power`] — power-state parameters and the Eq. (5) power model,
+//! * [`processor`] — a single processor with busy/idle/sleep accounting,
+//! * [`group`] — task groups (the unit of queueing and the TG technique's
+//!   output) and the Eq. (10) processing weight,
+//! * [`queue`] — the bounded per-node group queue,
+//! * [`node`] — compute nodes (Eq. 2 processing capacity, throttling),
+//! * [`topology`] — platform specification and generation,
+//! * [`heterogeneity`] — controlled service-coefficient-of-variation speed
+//!   generation (Exp. 3),
+//! * [`view`] — read-only platform snapshots handed to schedulers,
+//! * [`scheduler`] — the scheduler trait, commands, feedback signals,
+//! * [`engine`] — the simulation driver producing a [`RunResult`].
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod group;
+pub mod heterogeneity;
+pub mod ids;
+pub mod node;
+pub mod power;
+pub mod processor;
+pub mod queue;
+pub mod scheduler;
+pub mod topology;
+pub mod view;
+
+pub use engine::{ExecConfig, ExecEngine, RunResult, TaskRecord};
+pub use group::{GroupId, GroupPolicy, TaskGroup};
+pub use ids::{NodeAddr, ProcAddr};
+pub use node::ComputeNode;
+pub use power::PowerParams;
+pub use processor::{ProcState, Processor};
+pub use scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler};
+pub use topology::{Platform, PlatformSpec};
+pub use view::{NodeView, PlatformView};

@@ -1,0 +1,205 @@
+//! Compute nodes: a set of processors behind one bounded group queue.
+//!
+//! Eq. (2): the *processing capacity* of node `c` is
+//! `PC_c = (1/q_c) · Σ_j sp_j`, where `q_c` is the node's queue length. We
+//! read `q_c` as the current backlog plus one (the slot a new group would
+//! occupy), so capacity degrades as work queues up — the reading that makes
+//! the Eq. (9) `proc_fitness = pw / PC_c` a live load/capacity signal.
+
+use crate::ids::NodeAddr;
+use crate::power::PowerParams;
+use crate::processor::Processor;
+use crate::queue::GroupQueue;
+use serde::{Deserialize, Serialize};
+use simcore::time::SimTime;
+
+/// A compute node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComputeNode {
+    /// The node's address.
+    pub addr: NodeAddr,
+    /// The node's processors (4–6 in the paper's experiments).
+    pub processors: Vec<Processor>,
+    /// The bounded group queue.
+    pub queue: GroupQueue,
+    /// CPU throttle level `θ ∈ (0, 1]` (Online-RL's control knob; 1.0 =
+    /// full speed).
+    pub throttle: f64,
+}
+
+impl ComputeNode {
+    /// Creates a node from its processors.
+    ///
+    /// # Panics
+    /// Panics if `processors` is empty.
+    pub fn new(addr: NodeAddr, processors: Vec<Processor>, queue_capacity: usize) -> Self {
+        assert!(
+            !processors.is_empty(),
+            "a node needs at least one processor"
+        );
+        ComputeNode {
+            addr,
+            processors,
+            queue: GroupQueue::new(queue_capacity),
+            throttle: 1.0,
+        }
+    }
+
+    /// Number of processors (`m`, the TG `opnum` upper bound).
+    pub fn num_processors(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Sum of nominal processor speeds in MIPS.
+    pub fn raw_speed(&self) -> f64 {
+        self.processors.iter().map(|p| p.speed_mips).sum()
+    }
+
+    /// Eq. (2) processing capacity: raw speed divided by the effective
+    /// queue length (backlog + 1).
+    pub fn processing_capacity(&self) -> f64 {
+        self.raw_speed() / (self.queue.len() + 1) as f64
+    }
+
+    /// Indices of processors that can start a task now.
+    pub fn idle_procs(&self) -> Vec<usize> {
+        self.processors
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.is_idle())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of idle processors.
+    pub fn idle_count(&self) -> usize {
+        self.processors.iter().filter(|p| p.is_idle()).count()
+    }
+
+    /// Number of sleeping processors.
+    pub fn asleep_count(&self) -> usize {
+        self.processors.iter().filter(|p| p.is_asleep()).count()
+    }
+
+    /// Sets the throttle level, clamped to `[0.1, 1.0]`.
+    pub fn set_throttle(&mut self, level: f64) {
+        self.throttle = level.clamp(0.1, 1.0);
+    }
+
+    /// Node energy per Eq. (6): the *mean* per-processor energy
+    /// `E_c = (1/m) Σ_j PP_j` evaluated at `now`.
+    pub fn energy_at(&self, now: SimTime) -> f64 {
+        let total: f64 = self.processors.iter().map(|p| p.energy_at(now)).sum();
+        total / self.processors.len() as f64
+    }
+
+    /// Sum of per-processor energies at `now` (Σ PP_j without the 1/m).
+    pub fn energy_sum_at(&self, now: SimTime) -> f64 {
+        self.processors.iter().map(|p| p.energy_at(now)).sum()
+    }
+
+    /// Mean processor utilisation at `now`.
+    pub fn utilisation_at(&self, now: SimTime) -> f64 {
+        let total: f64 = self.processors.iter().map(|p| p.utilisation_at(now)).sum();
+        total / self.processors.len() as f64
+    }
+
+    /// Instantaneous per-processor power draws — the `{PP_1…m}` component
+    /// of the state vector `S_c(t)`.
+    pub fn proc_powers(&self) -> Vec<f64> {
+        self.processors.iter().map(|p| p.current_power()).collect()
+    }
+
+    /// Effective speed (MIPS) of processor `i` under the current throttle.
+    pub fn effective_speed(&self, i: usize) -> f64 {
+        self.processors[i].speed_mips * self.throttle
+    }
+}
+
+/// Builds a node's processors from a speed list.
+pub fn processors_from_speeds(speeds: &[f64], params: &PowerParams) -> Vec<Processor> {
+    speeds.iter().map(|&s| Processor::new(s, params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::{GroupId, GroupPolicy, TaskGroup};
+    use crate::queue::QueuedGroup;
+    use workload::{Priority, SiteId, Task, TaskId};
+
+    fn node(speeds: &[f64]) -> ComputeNode {
+        let params = PowerParams::paper();
+        ComputeNode::new(
+            NodeAddr::new(0, 0),
+            processors_from_speeds(speeds, &params),
+            4,
+        )
+    }
+
+    fn one_task_group(id: u64) -> QueuedGroup {
+        let t = Task {
+            id: TaskId(id),
+            size_mi: 1000.0,
+            arrival: SimTime::ZERO,
+            deadline: SimTime::new(10.0),
+            priority: Priority::Medium,
+            site: SiteId(0),
+        };
+        QueuedGroup::new(
+            TaskGroup::new(GroupId(id), vec![t], GroupPolicy::Mixed),
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn capacity_decays_with_backlog() {
+        let mut n = node(&[500.0, 1000.0]);
+        assert_eq!(n.raw_speed(), 1500.0);
+        assert_eq!(n.processing_capacity(), 1500.0);
+        n.queue.push(one_task_group(1)).unwrap();
+        assert_eq!(n.processing_capacity(), 750.0);
+        n.queue.push(one_task_group(2)).unwrap();
+        assert_eq!(n.processing_capacity(), 500.0);
+    }
+
+    #[test]
+    fn idle_accounting() {
+        let n = node(&[500.0, 600.0, 700.0]);
+        assert_eq!(n.idle_count(), 3);
+        assert_eq!(n.idle_procs(), vec![0, 1, 2]);
+        assert_eq!(n.asleep_count(), 0);
+    }
+
+    #[test]
+    fn throttle_clamps() {
+        let mut n = node(&[500.0]);
+        n.set_throttle(0.01);
+        assert_eq!(n.throttle, 0.1);
+        n.set_throttle(2.0);
+        assert_eq!(n.throttle, 1.0);
+        n.set_throttle(0.5);
+        assert_eq!(n.effective_speed(0), 250.0);
+    }
+
+    #[test]
+    fn node_energy_is_mean_of_processors() {
+        let n = node(&[500.0, 1000.0]);
+        // Both idle at 48 W for 10 units -> each 480, mean 480, sum 960.
+        let t = SimTime::new(10.0);
+        assert!((n.energy_at(t) - 480.0).abs() < 1e-9);
+        assert!((n.energy_sum_at(t) - 960.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proc_powers_reflect_state() {
+        let n = node(&[500.0, 1000.0]);
+        assert_eq!(n.proc_powers(), vec![48.0, 48.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn empty_node_rejected() {
+        let _ = node(&[]);
+    }
+}

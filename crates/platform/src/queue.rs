@@ -1,0 +1,251 @@
+//! The bounded per-node group queue.
+//!
+//! §III.B: "The queue … exists to limit the number of tasks to be scheduled
+//! for execution. … there are more than one task waiting in each queue
+//! space; this is based on a TG technique". Each slot holds one task group
+//! together with its execution bookkeeping (which members have started,
+//! finished, and met their deadlines — the raw material of the Eq. (8)
+//! reward).
+
+use crate::group::{GroupId, TaskGroup};
+use serde::{Deserialize, Serialize};
+use simcore::time::SimTime;
+use std::collections::VecDeque;
+
+/// A queued (possibly partially executing) task group.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueuedGroup {
+    /// The group itself (tasks in EDF order).
+    pub group: TaskGroup,
+    /// When it entered the queue.
+    pub enqueued_at: SimTime,
+    /// Processing weight at dispatch (Eq. 10), cached.
+    pub pw: f64,
+    /// Index of the next unstarted task in EDF order.
+    pub next_start: usize,
+    /// Members currently executing.
+    pub running: u32,
+    /// Members finished.
+    pub done: u32,
+    /// Members finished within their deadline.
+    pub met: u32,
+    /// When the first member started (the group's wait end).
+    pub first_start: Option<SimTime>,
+    /// Whether the group entered execution through the split process
+    /// (§IV.D.2) rather than a whole-group batch start.
+    pub split_mode: bool,
+    /// The Eq. (9) error value computed at assignment time.
+    pub assign_error: f64,
+}
+
+impl QueuedGroup {
+    /// Wraps a freshly dispatched group.
+    pub fn new(group: TaskGroup, now: SimTime) -> Self {
+        let pw = group.processing_weight();
+        QueuedGroup {
+            group,
+            enqueued_at: now,
+            pw,
+            next_start: 0,
+            running: 0,
+            done: 0,
+            met: 0,
+            first_start: None,
+            split_mode: false,
+            assign_error: 0.0,
+        }
+    }
+
+    /// Number of members not yet started.
+    pub fn unstarted(&self) -> usize {
+        self.group.len() - self.next_start
+    }
+
+    /// Whether every member has finished.
+    pub fn is_complete(&self) -> bool {
+        self.done as usize == self.group.len()
+    }
+
+    /// Whether any member has started.
+    pub fn has_started(&self) -> bool {
+        self.next_start > 0
+    }
+}
+
+/// Error returned when pushing to a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+/// Bounded FIFO of task groups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupQueue {
+    capacity: usize,
+    slots: VecDeque<QueuedGroup>,
+}
+
+impl GroupQueue {
+    /// Creates a queue with the given slot capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        GroupQueue {
+            capacity,
+            slots: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no groups are queued.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Free slots (`q⁻` in the paper's state vector).
+    pub fn available(&self) -> usize {
+        self.capacity - self.slots.len()
+    }
+
+    /// Enqueues a group, or reports the queue full.
+    pub fn push(&mut self, qg: QueuedGroup) -> Result<(), QueueFull> {
+        if self.slots.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        self.slots.push_back(qg);
+        Ok(())
+    }
+
+    /// The group at the head of the queue.
+    pub fn head_mut(&mut self) -> Option<&mut QueuedGroup> {
+        self.slots.front_mut()
+    }
+
+    /// The `i`-th queued group.
+    pub fn get(&self, i: usize) -> Option<&QueuedGroup> {
+        self.slots.get(i)
+    }
+
+    /// The `i`-th queued group, mutably.
+    pub fn get_mut(&mut self, i: usize) -> Option<&mut QueuedGroup> {
+        self.slots.get_mut(i)
+    }
+
+    /// Finds a queued group by id.
+    pub fn find_mut(&mut self, id: GroupId) -> Option<&mut QueuedGroup> {
+        self.slots.iter_mut().find(|g| g.group.id == id)
+    }
+
+    /// Removes and returns the group with the given id (wherever it sits —
+    /// with the split process a non-head group can complete first).
+    pub fn remove(&mut self, id: GroupId) -> Option<QueuedGroup> {
+        let idx = self.slots.iter().position(|g| g.group.id == id)?;
+        self.slots.remove(idx)
+    }
+
+    /// Total processing weight of queued groups — the `Load` component of
+    /// the state vector `S_c(t)`.
+    pub fn total_load(&self) -> f64 {
+        self.slots.iter().map(|g| g.pw).sum()
+    }
+
+    /// Iterates the queued groups front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedGroup> {
+        self.slots.iter()
+    }
+
+    /// Iterates the queued groups mutably, front to back.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut QueuedGroup> {
+        self.slots.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupPolicy;
+    use workload::{Priority, SiteId, Task, TaskId};
+
+    fn group(id: u64, n: usize) -> TaskGroup {
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| Task {
+                id: TaskId(id * 100 + i as u64),
+                size_mi: 1000.0,
+                arrival: SimTime::ZERO,
+                deadline: SimTime::new(10.0 + i as f64),
+                priority: Priority::Medium,
+                site: SiteId(0),
+            })
+            .collect();
+        TaskGroup::new(GroupId(id), tasks, GroupPolicy::Mixed)
+    }
+
+    #[test]
+    fn push_until_full() {
+        let mut q = GroupQueue::new(2);
+        assert_eq!(q.available(), 2);
+        q.push(QueuedGroup::new(group(1, 2), SimTime::ZERO))
+            .unwrap();
+        q.push(QueuedGroup::new(group(2, 2), SimTime::ZERO))
+            .unwrap();
+        assert_eq!(q.available(), 0);
+        assert_eq!(
+            q.push(QueuedGroup::new(group(3, 2), SimTime::ZERO)),
+            Err(QueueFull)
+        );
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn remove_by_id_anywhere() {
+        let mut q = GroupQueue::new(3);
+        for i in 1..=3 {
+            q.push(QueuedGroup::new(group(i, 1), SimTime::ZERO))
+                .unwrap();
+        }
+        let removed = q.remove(GroupId(2)).unwrap();
+        assert_eq!(removed.group.id, GroupId(2));
+        assert_eq!(q.len(), 2);
+        assert!(q.remove(GroupId(2)).is_none());
+        assert_eq!(q.head_mut().unwrap().group.id, GroupId(1));
+    }
+
+    #[test]
+    fn load_sums_processing_weights() {
+        let mut q = GroupQueue::new(4);
+        let g1 = QueuedGroup::new(group(1, 2), SimTime::ZERO);
+        let g2 = QueuedGroup::new(group(2, 3), SimTime::ZERO);
+        let expected = g1.pw + g2.pw;
+        q.push(g1).unwrap();
+        q.push(g2).unwrap();
+        assert!((q.total_load() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bookkeeping_counts() {
+        let mut qg = QueuedGroup::new(group(1, 3), SimTime::ZERO);
+        assert_eq!(qg.unstarted(), 3);
+        assert!(!qg.has_started());
+        qg.next_start = 2;
+        qg.running = 2;
+        assert_eq!(qg.unstarted(), 1);
+        assert!(qg.has_started());
+        qg.done = 3;
+        assert!(qg.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = GroupQueue::new(0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Platform specification and generation (§III.B + §V.A).
+//!
+//! The target system is "five to ten resource sites … each resource site
+//! contains a varying number of compute nodes ranging from 5 to 20 and in
+//! each node of which there are 4 to 6 processors", with processor speeds
+//! uniform in 500–1000 MIPS. [`PlatformSpec`] captures those knobs and
+//! [`Platform::generate`] realises them deterministically.
+
+use crate::heterogeneity::speeds_with_cv;
+use crate::ids::NodeAddr;
+use crate::node::{processors_from_speeds, ComputeNode};
+use crate::power::PowerParams;
+use serde::{Deserialize, Serialize};
+use simcore::rng::RngStream;
+use simcore::time::SimTime;
+use workload::SiteId;
+
+/// Declarative description of a platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Number of resource sites (paper: 5–10).
+    pub num_sites: u32,
+    /// Inclusive range of compute nodes per site (paper: 5–20).
+    pub nodes_per_site: (u32, u32),
+    /// Inclusive range of processors per node (paper: 4–6).
+    pub procs_per_node: (u32, u32),
+    /// Uniform speed range in MIPS (paper: 500–1000). Ignored when
+    /// `heterogeneity_cv` is set.
+    pub speed_range: (f64, f64),
+    /// When set, draw speeds at this service coefficient of variation
+    /// around the mean of `speed_range` instead of uniformly in it
+    /// (Experiment 3's knob).
+    pub heterogeneity_cv: Option<f64>,
+    /// Queue-slot capacity per node.
+    pub queue_capacity: usize,
+    /// Power model parameters.
+    pub power: PowerParams,
+}
+
+impl PlatformSpec {
+    /// The paper's §V.A configuration with the given site count (the paper
+    /// uses "five to ten resource sites"; experiments here default to 7).
+    pub fn paper(num_sites: u32) -> Self {
+        PlatformSpec {
+            num_sites,
+            nodes_per_site: (5, 20),
+            procs_per_node: (4, 6),
+            speed_range: (500.0, 1000.0),
+            heterogeneity_cv: None,
+            queue_capacity: 8,
+            power: PowerParams::paper(),
+        }
+    }
+
+    /// A small fixed platform for fast unit tests: `sites` sites × `nodes`
+    /// nodes × `procs` processors, uniform speeds.
+    pub fn small(sites: u32, nodes: u32, procs: u32) -> Self {
+        PlatformSpec {
+            num_sites: sites,
+            nodes_per_site: (nodes, nodes),
+            procs_per_node: (procs, procs),
+            speed_range: (500.0, 1000.0),
+            heterogeneity_cv: None,
+            queue_capacity: 8,
+            power: PowerParams::paper(),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics on an impossible spec.
+    pub fn validate(&self) {
+        assert!(self.num_sites > 0, "need at least one site");
+        assert!(
+            self.nodes_per_site.0 > 0 && self.nodes_per_site.0 <= self.nodes_per_site.1,
+            "invalid nodes-per-site range"
+        );
+        assert!(
+            self.procs_per_node.0 > 0 && self.procs_per_node.0 <= self.procs_per_node.1,
+            "invalid procs-per-node range"
+        );
+        assert!(
+            self.speed_range.0 > 0.0 && self.speed_range.0 <= self.speed_range.1,
+            "invalid speed range"
+        );
+        if let Some(cv) = self.heterogeneity_cv {
+            assert!(cv >= 0.0, "heterogeneity CV must be non-negative");
+        }
+        assert!(self.queue_capacity > 0, "queue capacity must be positive");
+        self.power.validate();
+    }
+
+    /// Mean of the speed range — the centre used for CV-controlled draws.
+    pub fn mean_speed(&self) -> f64 {
+        (self.speed_range.0 + self.speed_range.1) / 2.0
+    }
+}
+
+/// One resource site: a set of compute nodes managed by one agent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Site id.
+    pub id: SiteId,
+    /// The site's compute nodes.
+    pub nodes: Vec<ComputeNode>,
+}
+
+/// A generated platform.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    /// The spec this platform was generated from.
+    pub spec: PlatformSpec,
+    /// The resource sites.
+    pub sites: Vec<Site>,
+}
+
+impl Platform {
+    /// Generates a platform deterministically from `rng`.
+    pub fn generate(spec: PlatformSpec, rng: &RngStream) -> Platform {
+        spec.validate();
+        let mut shape_rng = rng.derive("platform.shape");
+        let mut sites = Vec::with_capacity(spec.num_sites as usize);
+        for s in 0..spec.num_sites {
+            let num_nodes = shape_rng.uniform_usize(
+                spec.nodes_per_site.0 as usize,
+                spec.nodes_per_site.1 as usize,
+            );
+            let mut nodes = Vec::with_capacity(num_nodes);
+            for n in 0..num_nodes {
+                let num_procs = shape_rng.uniform_usize(
+                    spec.procs_per_node.0 as usize,
+                    spec.procs_per_node.1 as usize,
+                );
+                let mut speed_rng =
+                    rng.derive_indexed("platform.speeds", u64::from(s) << 32 | n as u64);
+                let speeds = match spec.heterogeneity_cv {
+                    Some(cv) => speeds_with_cv(num_procs, spec.mean_speed(), cv, &mut speed_rng),
+                    None => (0..num_procs)
+                        .map(|_| {
+                            if spec.speed_range.0 == spec.speed_range.1 {
+                                spec.speed_range.0
+                            } else {
+                                speed_rng.uniform(spec.speed_range.0, spec.speed_range.1)
+                            }
+                        })
+                        .collect(),
+                };
+                nodes.push(ComputeNode::new(
+                    NodeAddr {
+                        site: SiteId(s),
+                        node: n as u32,
+                    },
+                    processors_from_speeds(&speeds, &spec.power),
+                    spec.queue_capacity,
+                ));
+            }
+            sites.push(Site {
+                id: SiteId(s),
+                nodes,
+            });
+        }
+        Platform { spec, sites }
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Total number of compute nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.sites.iter().map(|s| s.nodes.len()).sum()
+    }
+
+    /// Total number of processors.
+    pub fn num_processors(&self) -> usize {
+        self.sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .map(|n| n.num_processors())
+            .sum()
+    }
+
+    /// Sum of nominal processor speeds over the whole platform (MIPS).
+    pub fn total_nominal_mips(&self) -> f64 {
+        self.sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .map(|n| n.raw_speed())
+            .sum()
+    }
+
+    /// The slowest processor speed — the paper's *reference* resource used
+    /// to compute `ACT`.
+    pub fn reference_speed(&self) -> f64 {
+        self.sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .flat_map(|n| &n.processors)
+            .map(|p| p.speed_mips)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Borrow a node by address.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range address.
+    pub fn node(&self, addr: NodeAddr) -> &ComputeNode {
+        &self.sites[addr.site.0 as usize].nodes[addr.node as usize]
+    }
+
+    /// Mutably borrow a node by address.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range address.
+    pub fn node_mut(&mut self, addr: NodeAddr) -> &mut ComputeNode {
+        &mut self.sites[addr.site.0 as usize].nodes[addr.node as usize]
+    }
+
+    /// All node addresses, site-major.
+    pub fn node_addrs(&self) -> Vec<NodeAddr> {
+        self.sites
+            .iter()
+            .flat_map(|s| s.nodes.iter().map(|n| n.addr))
+            .collect()
+    }
+
+    /// System-wide energy `ECS = Σ_c E_c` at `now` (Eq. 6 summed over all
+    /// nodes).
+    pub fn total_energy_at(&self, now: SimTime) -> f64 {
+        self.sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .map(|n| n.energy_at(now))
+            .sum()
+    }
+
+    /// Mean processor utilisation over the whole platform at `now`.
+    pub fn mean_utilisation_at(&self, now: SimTime) -> f64 {
+        let procs: Vec<f64> = self
+            .sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .flat_map(|n| n.processors.iter().map(|p| p.utilisation_at(now)))
+            .collect();
+        if procs.is_empty() {
+            0.0
+        } else {
+            procs.iter().sum::<f64>() / procs.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_shapes_are_in_range() {
+        let p = Platform::generate(PlatformSpec::paper(7), &RngStream::root(1));
+        assert_eq!(p.num_sites(), 7);
+        for site in &p.sites {
+            assert!((5..=20).contains(&site.nodes.len()));
+            for node in &site.nodes {
+                assert!((4..=6).contains(&node.num_processors()));
+                for proc in &node.processors {
+                    assert!((500.0..1000.0).contains(&proc.speed_mips));
+                    assert!((80.0..=95.0).contains(&proc.p_peak));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Platform::generate(PlatformSpec::paper(5), &RngStream::root(9));
+        let b = Platform::generate(PlatformSpec::paper(5), &RngStream::root(9));
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_processors(), b.num_processors());
+        assert_eq!(a.reference_speed(), b.reference_speed());
+        let a_speeds: Vec<f64> = a
+            .sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .flat_map(|n| n.processors.iter().map(|p| p.speed_mips))
+            .collect();
+        let b_speeds: Vec<f64> = b
+            .sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .flat_map(|n| n.processors.iter().map(|p| p.speed_mips))
+            .collect();
+        assert_eq!(a_speeds, b_speeds);
+    }
+
+    #[test]
+    fn reference_speed_is_global_min() {
+        let p = Platform::generate(PlatformSpec::paper(6), &RngStream::root(3));
+        let min = p
+            .sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .flat_map(|n| n.processors.iter().map(|pr| pr.speed_mips))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(p.reference_speed(), min);
+    }
+
+    #[test]
+    fn heterogeneity_knob_controls_spread() {
+        let mut lo_spec = PlatformSpec::paper(8);
+        lo_spec.heterogeneity_cv = Some(0.1);
+        let mut hi_spec = PlatformSpec::paper(8);
+        hi_spec.heterogeneity_cv = Some(0.9);
+        let lo = Platform::generate(lo_spec, &RngStream::root(4));
+        let hi = Platform::generate(hi_spec, &RngStream::root(4));
+        let cv = |p: &Platform| {
+            let speeds: Vec<f64> = p
+                .sites
+                .iter()
+                .flat_map(|s| &s.nodes)
+                .flat_map(|n| n.processors.iter().map(|pr| pr.speed_mips))
+                .collect();
+            crate::heterogeneity::realized_cv(&speeds)
+        };
+        assert!(cv(&hi) > cv(&lo) + 0.2, "{} vs {}", cv(&lo), cv(&hi));
+    }
+
+    #[test]
+    fn node_addressing_round_trips() {
+        let p = Platform::generate(PlatformSpec::small(3, 4, 5), &RngStream::root(5));
+        assert_eq!(p.num_nodes(), 12);
+        assert_eq!(p.num_processors(), 60);
+        for addr in p.node_addrs() {
+            assert_eq!(p.node(addr).addr, addr);
+        }
+    }
+
+    #[test]
+    fn total_mips_sums_all_processors() {
+        let p = Platform::generate(PlatformSpec::small(2, 2, 3), &RngStream::root(8));
+        let manual: f64 = p
+            .sites
+            .iter()
+            .flat_map(|s| &s.nodes)
+            .flat_map(|n| n.processors.iter().map(|pr| pr.speed_mips))
+            .sum();
+        assert_eq!(p.total_nominal_mips(), manual);
+        assert!(p.total_nominal_mips() > 0.0);
+    }
+
+    #[test]
+    fn idle_platform_energy_matches_closed_form() {
+        let p = Platform::generate(PlatformSpec::small(2, 3, 4), &RngStream::root(6));
+        // Every node's Eq. (6) energy is 48 W × t regardless of proc count.
+        let t = SimTime::new(100.0);
+        let expected = 48.0 * 100.0 * p.num_nodes() as f64;
+        assert!((p.total_energy_at(t) - expected).abs() < 1e-6);
+        assert_eq!(p.mean_utilisation_at(t), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid speed range")]
+    fn bad_speed_range_rejected() {
+        let mut spec = PlatformSpec::paper(5);
+        spec.speed_range = (1000.0, 500.0);
+        spec.validate();
+    }
+}

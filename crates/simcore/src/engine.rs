@@ -1,0 +1,234 @@
+//! A minimal discrete-event dispatch loop.
+//!
+//! [`Engine`] owns the clock and the future-event list and repeatedly hands
+//! the earliest event to a user-supplied [`Simulation`]. The simulation can
+//! schedule further events through the [`Scheduler`](EngineHandle) handle it
+//! receives. The loop terminates when the event list drains, when the
+//! simulation reports completion, or when a configured event-count fuse
+//! blows (a guard against accidental non-termination in tests).
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// Callback interface driven by [`Engine::run`].
+pub trait Simulation {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event at its firing time. New events are scheduled
+    /// through `handle`. Returning `false` stops the run early.
+    fn on_event(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        handle: &mut EngineHandle<'_, Self::Event>,
+    ) -> bool;
+}
+
+/// Scheduling handle passed to [`Simulation::on_event`].
+///
+/// Wraps the event queue so a simulation can only *add* future events, never
+/// reorder or inspect the pending list.
+pub struct EngineHandle<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<E> EngineHandle<'_, E> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current time (causality violation).
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` `delay` after now.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+}
+
+/// Outcome of a completed [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every scheduled event was processed.
+    Drained,
+    /// The simulation returned `false` from `on_event`.
+    Stopped,
+    /// The event fuse blew before the queue drained.
+    FuseBlown,
+}
+
+/// The dispatch loop.
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+    fuse: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine with an effectively unlimited event fuse.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            fuse: u64::MAX,
+        }
+    }
+
+    /// Sets the maximum number of events to process before aborting.
+    pub fn with_fuse(mut self, fuse: u64) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// Seeds an initial event at absolute time `at`.
+    pub fn prime(&mut self, at: SimTime, event: E) {
+        self.queue.push(at, event);
+    }
+
+    /// Current simulation time (the firing time of the last event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Runs `sim` until the queue drains, it stops itself, or the fuse blows.
+    pub fn run<S>(&mut self, sim: &mut S) -> RunOutcome
+    where
+        S: Simulation<Event = E>,
+    {
+        while let Some(scheduled) = self.queue.pop() {
+            debug_assert!(scheduled.time >= self.now, "event queue must be monotone");
+            self.now = scheduled.time;
+            self.processed += 1;
+            let mut handle = EngineHandle {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            if !sim.on_event(self.now, scheduled.event, &mut handle) {
+                return RunOutcome::Stopped;
+            }
+            if self.processed >= self.fuse {
+                return RunOutcome::FuseBlown;
+            }
+        }
+        RunOutcome::Drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// A ball that bounces a fixed number of times at unit intervals.
+    struct Bouncer {
+        remaining: u32,
+        times: Vec<f64>,
+    }
+
+    #[derive(Debug)]
+    struct Bounce;
+
+    impl Simulation for Bouncer {
+        type Event = Bounce;
+        fn on_event(&mut self, now: SimTime, _e: Bounce, h: &mut EngineHandle<'_, Bounce>) -> bool {
+            self.times.push(now.as_f64());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                h.schedule_in(SimDuration::new(1.0), Bounce);
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn drains_and_advances_clock() {
+        let mut sim = Bouncer {
+            remaining: 3,
+            times: Vec::new(),
+        };
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.5), Bounce);
+        let outcome = engine.run(&mut sim);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(sim.times, vec![0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(engine.now().as_f64(), 3.5);
+        assert_eq!(engine.processed(), 4);
+    }
+
+    #[test]
+    fn fuse_stops_runaway() {
+        let mut sim = Bouncer {
+            remaining: u32::MAX,
+            times: Vec::new(),
+        };
+        let mut engine = Engine::new().with_fuse(10);
+        engine.prime(SimTime::ZERO, Bounce);
+        assert_eq!(engine.run(&mut sim), RunOutcome::FuseBlown);
+        assert_eq!(engine.processed(), 10);
+    }
+
+    struct StopsEarly;
+    impl Simulation for StopsEarly {
+        type Event = u32;
+        fn on_event(&mut self, _now: SimTime, e: u32, _h: &mut EngineHandle<'_, u32>) -> bool {
+            e < 2
+        }
+    }
+
+    #[test]
+    fn simulation_can_stop_itself() {
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(1.0), 1);
+        engine.prime(SimTime::new(2.0), 2);
+        engine.prime(SimTime::new(3.0), 3);
+        assert_eq!(engine.run(&mut StopsEarly), RunOutcome::Stopped);
+        assert_eq!(engine.now().as_f64(), 2.0);
+    }
+
+    struct PastScheduler;
+    impl Simulation for PastScheduler {
+        type Event = ();
+        fn on_event(&mut self, _now: SimTime, _e: (), h: &mut EngineHandle<'_, ()>) -> bool {
+            h.schedule_at(SimTime::ZERO, ());
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(5.0), ());
+        let _ = engine.run(&mut PastScheduler);
+    }
+}

@@ -1,0 +1,31 @@
+//! Facade crate re-exporting the whole Adaptive-RL scheduling stack.
+//!
+//! This is the crate downstream users depend on; the workspace members are
+//! re-exported under stable module names:
+//!
+//! * [`simcore`] — discrete-event simulation kernel,
+//! * [`workload`] — task model and workload generation,
+//! * [`platform`] — heterogeneous PDCS platform and execution engine,
+//! * [`neural`] — feed-forward network substrate for the value estimator,
+//! * [`adaptive_rl`] — the Adaptive-RL scheduler (the paper's contribution),
+//! * [`baselines`] — Online RL, Q+ learning, prediction-based comparators,
+//! * [`metrics`] — metric extraction and reporting,
+//! * [`experiments`] — ready-made configurations reproducing Figs. 7–12.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use adaptive_rl;
+pub use baselines;
+pub use experiments;
+pub use metrics;
+pub use neural;
+pub use platform;
+pub use simcore;
+pub use workload;
+
+// The types most programs need, re-exported at the top level.
+pub use adaptive_rl::{AdaptiveRl, AdaptiveRlConfig};
+pub use metrics::RunSummary;
+pub use platform::{ExecConfig, ExecEngine, Platform, PlatformSpec, RunResult, Scheduler};
+pub use simcore::rng::RngStream;
+pub use workload::{Task, Workload, WorkloadSpec};

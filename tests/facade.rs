@@ -1,0 +1,38 @@
+//! The facade crate's top-level re-exports must stay usable as documented
+//! in the README (this is the public API downstream users compile
+//! against).
+
+use adaptive_rl_sched::{
+    AdaptiveRl, AdaptiveRlConfig, ExecConfig, ExecEngine, Platform, PlatformSpec, RngStream,
+    RunSummary, Scheduler, Workload, WorkloadSpec,
+};
+
+#[test]
+fn readme_quickstart_compiles_and_runs() {
+    let rng = RngStream::root(42);
+    let platform = Platform::generate(PlatformSpec::small(2, 2, 4), &rng.derive("platform"));
+    let workload = Workload::generate(
+        WorkloadSpec::paper(100, 2, platform.reference_speed()),
+        &rng.derive("workload"),
+    );
+    let mut scheduler = AdaptiveRl::new(platform.num_sites(), AdaptiveRlConfig::default());
+    assert_eq!(scheduler.name(), "Adaptive-RL");
+    let result =
+        ExecEngine::new(ExecConfig::default()).run(platform, workload.tasks, &mut scheduler);
+    assert_eq!(result.incomplete, 0);
+    let summary = RunSummary::from_run(&result);
+    assert!(summary.avg_response_time > 0.0);
+    assert!(summary.energy_millions > 0.0);
+}
+
+#[test]
+fn module_re_exports_resolve() {
+    // Spot-check that each member crate is reachable through the facade.
+    let _ = adaptive_rl_sched::simcore::SimTime::ZERO;
+    let _ = adaptive_rl_sched::workload::Priority::High;
+    let _ = adaptive_rl_sched::platform::PowerParams::paper();
+    let _ = adaptive_rl_sched::neural::Activation::Tanh;
+    let _ = adaptive_rl_sched::baselines::OnlineRlConfig::default();
+    let _ = adaptive_rl_sched::metrics::ascii_chart(&[], 20, 5);
+    let _ = adaptive_rl_sched::experiments::Scenario::small(1, 10, 0.5);
+}

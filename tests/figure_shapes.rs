@@ -1,0 +1,182 @@
+//! Shape regression tests: miniature versions of every reproduced figure
+//! must keep the qualitative relationships the paper reports. These are
+//! the guardrails that keep future changes from silently breaking the
+//! reproduction (the full-scale numbers live in EXPERIMENTS.md).
+
+use adaptive_rl_sched::experiments::{
+    experiment1, experiment2, experiment3, Exp1Options, Exp2Options, Exp3Options,
+};
+
+fn exp1_mini() -> Exp1Options {
+    Exp1Options {
+        task_counts: vec![400, 1200],
+        reps: 2,
+        seed: 501,
+        ..Exp1Options::default()
+    }
+}
+
+#[test]
+fn fig7_adaptive_has_lowest_response_time_at_scale() {
+    let (fig7, _) = experiment1(&exp1_mini());
+    let adaptive = fig7.series_named("Adaptive RL").expect("series");
+    let at_max = adaptive.points.last().unwrap().y;
+    for s in &fig7.series {
+        if s.label == "Adaptive RL" {
+            continue;
+        }
+        let other = s.points.last().unwrap().y;
+        assert!(
+            at_max < other,
+            "Adaptive {at_max:.2} must beat {} {other:.2} at the heaviest point",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn fig7_response_time_grows_with_task_count() {
+    let (fig7, _) = experiment1(&exp1_mini());
+    for s in &fig7.series {
+        assert!(
+            s.points.last().unwrap().y > s.points.first().unwrap().y,
+            "{}: response time must grow with load",
+            s.label
+        );
+    }
+}
+
+#[test]
+fn fig8_energy_grows_and_adaptive_wins_with_online_close() {
+    let (_, fig8) = experiment1(&exp1_mini());
+    let adaptive = fig8.series_named("Adaptive RL").unwrap();
+    let online = fig8.series_named("Online RL").unwrap();
+    let a = adaptive.points.last().unwrap().y;
+    let o = online.points.last().unwrap().y;
+    assert!(a < o, "Adaptive must use less energy than Online RL");
+    assert!(
+        o / a < 1.35,
+        "Online RL should stay comparable on energy (paper: ~5%), got {:.2}x",
+        o / a
+    );
+    for s in &fig8.series {
+        assert!(
+            s.points.last().unwrap().y > s.points.first().unwrap().y,
+            "{}: energy must grow with task count",
+            s.label
+        );
+    }
+}
+
+fn exp2_mini() -> Exp2Options {
+    Exp2Options {
+        heavy_tasks: 900,
+        heavy_offered: 1.05,
+        light_tasks: 250,
+        light_offered: 0.65,
+        reps: 2,
+        seed: 502,
+    }
+}
+
+#[test]
+fn fig9_fig10_adaptive_dominates_and_utilisation_rises() {
+    let (fig9, fig10) = experiment2(&exp2_mini());
+    for (fig, tag) in [(&fig9, "heavy"), (&fig10, "light")] {
+        assert_eq!(fig.series.len(), 2);
+        let adaptive = &fig.series[0];
+        let online = &fig.series[1];
+        // Rising with learning cycles (allow small wobble).
+        assert!(
+            adaptive.is_monotone_nondecreasing(0.05),
+            "{tag}: Adaptive curve must rise: {:?}",
+            adaptive.points
+        );
+        // The last point beats the first by a wide margin for both.
+        for s in [adaptive, online] {
+            let first = s.points.first().unwrap().y;
+            let last = s.points.last().unwrap().y;
+            assert!(
+                last > first * 1.5,
+                "{tag} {}: {first:.3} -> {last:.3} must grow",
+                s.label
+            );
+        }
+        // Adaptive above Online at (almost) every decile.
+        let above = adaptive
+            .points
+            .iter()
+            .zip(&online.points)
+            .filter(|(a, o)| a.y >= o.y)
+            .count();
+        assert!(
+            above >= 8,
+            "{tag}: Adaptive must dominate, only {above}/10 deciles"
+        );
+    }
+    // Heavy state reaches a clearly higher utilisation than light.
+    let heavy_final = fig9.series[0].points.last().unwrap().y;
+    let light_final = fig10.series[0].points.last().unwrap().y;
+    assert!(heavy_final > light_final + 0.1);
+    assert!(
+        heavy_final > 0.6,
+        "heavy-state utilisation should end above 0.6"
+    );
+}
+
+fn exp3_mini() -> Exp3Options {
+    Exp3Options {
+        heterogeneity: vec![0.1, 0.9],
+        heavy: (900, 0.95),
+        light: (250, 0.5),
+        reps: 2,
+        seed: 503,
+    }
+}
+
+#[test]
+fn fig11_success_high_and_light_above_heavy() {
+    let (fig11, _) = experiment3(&exp3_mini());
+    let heavy = &fig11.series[0];
+    let light = &fig11.series[1];
+    // Paper: "more than 70% of tasks (on average) have completed their
+    // execution before their deadline".
+    assert!(
+        heavy.y_mean().unwrap() > 0.6,
+        "heavy success too low: {:?}",
+        heavy.points
+    );
+    assert!(light.y_mean().unwrap() > 0.7);
+    for (h, l) in heavy.points.iter().zip(&light.points) {
+        assert!(
+            l.y >= h.y - 0.03,
+            "light should not trail heavy at cv {}",
+            h.x
+        );
+    }
+    // Success declines (or at worst stays flat) as heterogeneity grows.
+    assert!(
+        heavy.points.last().unwrap().y <= heavy.points.first().unwrap().y + 0.03,
+        "success should not improve with heterogeneity"
+    );
+}
+
+#[test]
+fn fig12_energy_stays_roughly_flat_in_heterogeneity() {
+    let (_, fig12) = experiment3(&exp3_mini());
+    for s in &fig12.series {
+        let first = s.points.first().unwrap().y;
+        let last = s.points.last().unwrap().y;
+        assert!(
+            last / first < 1.4,
+            "{}: heterogeneity should not blow energy up ({first:.3} -> {last:.3})",
+            s.label
+        );
+    }
+    // Heavy state uses clearly more energy than light at every level.
+    let heavy = &fig12.series[0];
+    let light = &fig12.series[1];
+    for (h, l) in heavy.points.iter().zip(&light.points) {
+        assert!(h.y > l.y, "heavy must exceed light at cv {}", h.x);
+    }
+}

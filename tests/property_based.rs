@@ -1,0 +1,107 @@
+//! Property-based integration tests: random (but bounded) scenarios must
+//! preserve the engine's global invariants for every scheduling policy.
+
+use adaptive_rl_sched::adaptive_rl::AdaptiveRlConfig;
+use adaptive_rl_sched::experiments::{runner, Scenario, SchedulerKind};
+use adaptive_rl_sched::platform::PlatformSpec;
+use adaptive_rl_sched::workload::PriorityMix;
+use proptest::prelude::*;
+
+/// Strategy over small but structurally varied scenarios.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (
+        any::<u64>(),
+        20usize..150,
+        0.2f64..1.2,
+        1u32..3,
+        1u32..4,
+        2u32..6,
+        0.0f64..1.0,
+        1usize..6,
+    )
+        .prop_map(
+            |(seed, tasks, offered, sites, nodes, procs, low_frac, queue_cap)| {
+                let mut sc = Scenario::new(seed, tasks, offered);
+                sc.platform = PlatformSpec::small(sites, nodes, procs);
+                sc.platform.queue_capacity = queue_cap;
+                let low = low_frac * 0.8;
+                let rest = 1.0 - low;
+                sc.priority_mix = PriorityMix::new(low, rest / 2.0, rest / 2.0);
+                sc
+            },
+        )
+}
+
+fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::Adaptive(AdaptiveRlConfig::default())),
+        Just(SchedulerKind::Online(Default::default())),
+        Just(SchedulerKind::QPlus(Default::default())),
+        Just(SchedulerKind::Prediction(Default::default())),
+        Just(SchedulerKind::RoundRobin),
+        Just(SchedulerKind::GreedyEdf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn no_policy_ever_loses_a_task(sc in scenario_strategy(), kind in kind_strategy()) {
+        let r = runner::run_scenario(&sc, &kind);
+        prop_assert_eq!(r.incomplete, 0, "{} lost tasks (outcome {})", kind.label(), r.outcome);
+        prop_assert_eq!(r.records.len(), sc.num_tasks);
+    }
+
+    #[test]
+    fn records_stay_causal_and_consistent(sc in scenario_strategy(), kind in kind_strategy()) {
+        let r = runner::run_scenario(&sc, &kind);
+        let mut seen = std::collections::HashSet::new();
+        for rec in &r.records {
+            prop_assert!(seen.insert(rec.task), "duplicate record for {:?}", rec.task);
+            prop_assert!(rec.dispatched >= rec.arrival);
+            prop_assert!(rec.started >= rec.dispatched);
+            prop_assert!(rec.finished > rec.started);
+            prop_assert_eq!(rec.met, rec.finished <= rec.deadline);
+            prop_assert!(rec.size_mi >= 600.0 && rec.size_mi <= 7200.0);
+        }
+    }
+
+    #[test]
+    fn energy_is_monotone_in_time_bounds(sc in scenario_strategy(), kind in kind_strategy()) {
+        let r = runner::run_scenario(&sc, &kind);
+        // ECS must lie between all-idle and all-peak envelopes.
+        let nodes = (sc.platform.num_sites * sc.platform.nodes_per_site.0) as f64;
+        let lo = 40.0 * r.makespan * nodes * 0.999;
+        let hi = 95.0 * r.makespan * nodes * 1.001;
+        prop_assert!(r.total_energy >= lo, "energy {} below idle floor {lo}", r.total_energy);
+        prop_assert!(r.total_energy <= hi, "energy {} above peak ceiling {hi}", r.total_energy);
+    }
+
+    #[test]
+    fn group_accounting_balances(sc in scenario_strategy(), kind in kind_strategy()) {
+        let r = runner::run_scenario(&sc, &kind);
+        prop_assert_eq!(r.groups_completed, r.groups_dispatched);
+        prop_assert_eq!(r.cycles.len() as u64, r.groups_completed);
+        // Groups cannot out-number tasks.
+        prop_assert!(r.groups_dispatched as usize <= sc.num_tasks);
+        // Work conservation: cumulative completed work equals total size.
+        if let Some(last) = r.cycles.last() {
+            let total: f64 = r.records.iter().map(|rec| rec.size_mi).sum();
+            prop_assert!((last.work_mi - total).abs() < 1e-6,
+                "work {} vs task sizes {}", last.work_mi, total);
+        }
+    }
+
+    #[test]
+    fn determinism_holds_for_random_scenarios(sc in scenario_strategy(), kind in kind_strategy()) {
+        let a = runner::run_scenario(&sc, &kind);
+        let b = runner::run_scenario(&sc, &kind);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.total_energy, b.total_energy);
+        prop_assert_eq!(a.split_starts, b.split_starts);
+    }
+}

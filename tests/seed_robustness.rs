@@ -1,0 +1,33 @@
+//! Guard against tuning that only works for one lucky seed: the headline
+//! result (Adaptive-RL wins response time and energy under heavy load)
+//! must hold across independent base seeds.
+
+use adaptive_rl_sched::experiments::{runner, Scenario, SchedulerKind};
+
+#[test]
+fn adaptive_wins_across_seeds() {
+    for seed in [11, 1234, 987_654] {
+        let sc = Scenario::new(seed, 1200, 1.0);
+        let kinds = SchedulerKind::paper_four();
+        let results: Vec<_> = kinds
+            .iter()
+            .map(|k| (k.label(), runner::run_scenario(&sc, k)))
+            .collect();
+        let (name0, adaptive) = &results[0];
+        assert_eq!(*name0, "Adaptive RL");
+        for (label, other) in &results[1..] {
+            assert!(
+                adaptive.avg_response_time() < other.avg_response_time(),
+                "seed {seed}: Adaptive {} vs {label} {}",
+                adaptive.avg_response_time(),
+                other.avg_response_time()
+            );
+            assert!(
+                adaptive.total_energy < other.total_energy * 1.03,
+                "seed {seed}: Adaptive energy {} vs {label} {}",
+                adaptive.total_energy,
+                other.total_energy
+            );
+        }
+    }
+}
