@@ -141,7 +141,8 @@ pub fn dispatch_least_loaded(
         // filled by the split process.
         let opnum = view
             .site_nodes(site)
-            .map(|n| n.num_processors())
+            .map(|n| n.available_processors())
+            .filter(|&m| m > 0)
             .min()
             .unwrap_or(0);
         if opnum == 0 {
@@ -155,7 +156,7 @@ pub fn dispatch_least_loaded(
                 .site_nodes(site)
                 .filter(|n| {
                     n.queue_available() > ledger.claimed(n.addr())
-                        && n.num_processors() >= group.len()
+                        && n.available_processors() >= group.len()
                 })
                 .max_by(|a, b| {
                     let ca = a.raw_speed() / (a.queue_len() + ledger.claimed(a.addr()) + 1) as f64;

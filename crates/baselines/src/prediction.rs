@@ -151,7 +151,8 @@ impl Scheduler for PredictionBased {
             // filled by the split process.
             let opnum = view
                 .site_nodes(site)
-                .map(|n| n.num_processors())
+                .map(|n| n.available_processors())
+                .filter(|&m| m > 0)
                 .min()
                 .unwrap_or(0);
             if opnum == 0 {
@@ -173,7 +174,7 @@ impl Scheduler for PredictionBased {
                     .site_nodes(site)
                     .filter(|n| {
                         n.queue_available() > ledger.claimed(n.addr())
-                            && n.num_processors() >= group.len()
+                            && n.available_processors() >= group.len()
                     })
                     .collect();
                 candidates.sort_by(|a, b| {

@@ -106,7 +106,8 @@ impl Scheduler for GreedyEdf {
             // filled by the split process.
             let opnum = view
                 .site_nodes(site)
-                .map(|n| n.num_processors())
+                .map(|n| n.available_processors())
+                .filter(|&m| m > 0)
                 .min()
                 .unwrap_or(0);
             if opnum == 0 {
@@ -121,7 +122,7 @@ impl Scheduler for GreedyEdf {
                     .site_nodes(site)
                     .filter(|n| {
                         n.queue_available() > ledger.claimed(n.addr())
-                            && n.num_processors() >= group.len()
+                            && n.available_processors() >= group.len()
                     })
                     .max_by(|a, b| {
                         a.processing_capacity()

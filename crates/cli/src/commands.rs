@@ -68,7 +68,60 @@ fn scenario_from(args: &Args) -> Result<Scenario, CmdError> {
     if args.has("no-split") {
         sc.exec.split_enabled = false;
     }
+    apply_fault_flags(args, &mut sc)?;
     Ok(sc)
+}
+
+/// Parses the `--fault-*` flag family into `sc.exec.faults`.
+///
+/// `--faults` switches injection on; the remaining flags refine the spec
+/// and are accepted (but inert) without it, mirroring how `--no-split`
+/// composes. Range errors surface as [`CmdError`]s rather than the
+/// panics `FaultSpec::validate` would raise later.
+fn apply_fault_flags(args: &Args, sc: &mut Scenario) -> Result<(), CmdError> {
+    let f = &mut sc.exec.faults;
+    if args.has("faults") {
+        f.enabled = true;
+    }
+    f.proc_mtbf = args.get_or("fault-proc-mtbf", f.proc_mtbf)?;
+    f.proc_mttr = args.get_or("fault-proc-mttr", f.proc_mttr)?;
+    f.node_mtbf = args.get_or("fault-node-mtbf", f.node_mtbf)?;
+    f.node_mttr = args.get_or("fault-node-mttr", f.node_mttr)?;
+    f.permanent_fraction = args.get_or("fault-permanent", f.permanent_fraction)?;
+    f.max_retries = args.get_or("fault-retries", f.max_retries)?;
+    f.horizon = args.get_or("fault-horizon", f.horizon)?;
+    f.seed = args.get_or("fault-seed", f.seed)?;
+    for (flag, v) in [
+        ("fault-proc-mtbf", f.proc_mtbf),
+        ("fault-node-mtbf", f.node_mtbf),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(CmdError::Other(format!(
+                "--{flag} must be non-negative (0 disables that source)"
+            )));
+        }
+    }
+    for (flag, v) in [
+        ("fault-proc-mttr", f.proc_mttr),
+        ("fault-node-mttr", f.node_mttr),
+        ("fault-horizon", f.horizon),
+    ] {
+        if !v.is_finite() || v <= 0.0 {
+            return Err(CmdError::Other(format!("--{flag} must be positive")));
+        }
+    }
+    if !(0.0..=1.0).contains(&f.permanent_fraction) {
+        return Err(CmdError::Other(
+            "--fault-permanent must be in [0, 1]".into(),
+        ));
+    }
+    if f.enabled && !f.is_active() {
+        return Err(CmdError::Other(
+            "--faults needs a failure source: set --fault-proc-mtbf and/or --fault-node-mtbf > 0"
+                .into(),
+        ));
+    }
+    Ok(())
 }
 
 fn summary_block(r: &RunResult) -> String {
@@ -82,6 +135,12 @@ fn summary_block(r: &RunResult) -> String {
         "p50/p95 response: {:.2} / {:.2} | groups: {} | split starts: {} | rejections: {}\n",
         s.response_p50, s.response_p95, r.groups_dispatched, r.split_starts, r.rejections
     ));
+    if r.faults_injected > 0 || r.tasks_failed > 0 {
+        out.push_str(&format!(
+            "faults: {} injected / {} recovered | preemptions: {} | retries: {} | tasks failed: {}\n",
+            r.faults_injected, r.faults_recovered, r.preemptions, r.retries, r.tasks_failed
+        ));
+    }
     if r.incomplete > 0 {
         out.push_str(&format!(
             "WARNING: {} tasks never completed\n",
@@ -109,10 +168,10 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
     ));
     out.push_str(&summary_block(&r));
     if args.has("csv") {
-        out.push_str("\ntask,site,node,arrival,started,finished,deadline,met\n");
+        out.push_str("\ntask,site,node,arrival,started,finished,deadline,met,outcome,attempts\n");
         for rec in &r.records {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{:?},{}\n",
                 rec.task.0,
                 rec.site.0,
                 rec.node,
@@ -120,7 +179,9 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
                 rec.started,
                 rec.finished,
                 rec.deadline,
-                rec.met
+                rec.met,
+                rec.outcome,
+                rec.attempts
             ));
         }
     }
@@ -355,6 +416,83 @@ mod tests {
         .expect("run");
         assert!(run.contains("Greedy EDF"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_with_faults_reports_counters() {
+        let line = [
+            "simulate",
+            "--tasks",
+            "150",
+            "--offered",
+            "0.6",
+            "--seed",
+            "11",
+            "--faults",
+            "--fault-node-mtbf",
+            "120",
+            "--fault-node-mttr",
+            "30",
+            "--fault-proc-mtbf",
+            "80",
+            "--fault-proc-mttr",
+            "15",
+        ];
+        let out = simulate(&parse(&line)).expect("simulate with faults");
+        assert!(out.contains("faults:"), "missing fault line in {out}");
+        assert!(out.contains("preemptions:"));
+        assert!(
+            !out.contains("WARNING"),
+            "fault run must still drain: {out}"
+        );
+        // Seeded injection is deterministic: a second run prints the same.
+        assert_eq!(out, simulate(&parse(&line)).expect("repeat run"));
+    }
+
+    #[test]
+    fn fault_flags_without_enable_change_nothing() {
+        let plain = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "80",
+            "--offered",
+            "0.6",
+            "--seed",
+            "4",
+        ]))
+        .expect("plain");
+        let tuned = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "80",
+            "--offered",
+            "0.6",
+            "--seed",
+            "4",
+            "--fault-node-mtbf",
+            "50",
+        ]))
+        .expect("tuned but disabled");
+        assert_eq!(plain, tuned);
+        assert!(!plain.contains("faults:"));
+    }
+
+    #[test]
+    fn bad_fault_flags_are_rejected() {
+        // Enabled but no failure source configured.
+        assert!(simulate(&parse(&["simulate", "--faults"])).is_err());
+        for bad in [
+            ["--fault-proc-mtbf", "-1"],
+            ["--fault-proc-mttr", "0"],
+            ["--fault-node-mttr", "-3"],
+            ["--fault-permanent", "1.5"],
+            ["--fault-horizon", "0"],
+            ["--fault-retries", "many"],
+        ] {
+            let line = ["simulate", "--faults", "--fault-node-mtbf", "100"];
+            let args: Vec<&str> = line.iter().chain(bad.iter()).copied().collect();
+            assert!(simulate(&parse(&args)).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -19,9 +19,20 @@ arls — Adaptive-RL energy-aware scheduling simulator
 
 USAGE:
   arls simulate [--scheduler S] [--tasks N] [--offered F] [--seed N]
-                [--sites N] [--no-split] [--gating] [--csv]
+                [--sites N] [--no-split] [--gating] [--csv] [fault flags]
       run one scenario and print the run summary
       schedulers: adaptive (default), online, qplus, prediction, rr, greedy
+
+  fault flags (simulate, compare, trace generate):
+      --faults                 enable fault injection (needs a source below)
+      --fault-proc-mtbf T      mean time between per-processor failures (0 = off)
+      --fault-proc-mttr T      mean per-processor repair time
+      --fault-node-mtbf T      mean time between whole-node failures (0 = off)
+      --fault-node-mttr T      mean whole-node repair time
+      --fault-permanent F      fraction of failures that never recover [0, 1]
+      --fault-retries N        re-dispatch budget per task before it is failed
+      --fault-horizon T        stop injecting new faults after this time
+      --fault-seed N           dedicated RNG seed for the fault timeline
 
   arls compare  [--tasks N] [--offered F] [--seed N] [--references]
       run every scheduler on the same scenario and print a comparison table

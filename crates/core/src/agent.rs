@@ -135,6 +135,7 @@ mod tests {
             max_procs,
             pending: 5,
             priority_mix: [0.2, 0.5, 0.3],
+            availability: 1.0,
         }
     }
 

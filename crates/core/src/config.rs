@@ -56,6 +56,14 @@ pub struct AdaptiveRlConfig {
     /// `PowerParams::p_sleep` is genuinely below idle draw — under the
     /// paper's Eq. (5) model (`p_sleep = p_idle`) it can only lose.
     pub power_gating: bool,
+    /// **Extension (0 = off, the paper's behaviour):** degradation-aware
+    /// placement under injected faults. Adds
+    /// `availability_penalty × (1 − availability)` to a node's Eq. (9)
+    /// assignment error, steering groups away from nodes that have lost
+    /// processors (and are therefore both slower and likelier to strand
+    /// work again). Irrelevant on a healthy platform, where every node's
+    /// availability is 1.
+    pub availability_penalty: f64,
 }
 
 impl Default for AdaptiveRlConfig {
@@ -77,6 +85,7 @@ impl Default for AdaptiveRlConfig {
             seed: 0x5EED,
             force_policy: None,
             power_gating: false,
+            availability_penalty: 0.0,
         }
     }
 }
@@ -108,6 +117,10 @@ impl AdaptiveRlConfig {
         assert!(self.memory_depth > 0, "memory depth must be positive");
         assert!(self.error_floor > 0.0, "error floor must be positive");
         assert!(self.flush_age >= 0.0, "flush age must be non-negative");
+        assert!(
+            self.availability_penalty >= 0.0,
+            "availability penalty must be non-negative"
+        );
     }
 }
 

@@ -123,15 +123,23 @@ impl AdaptiveRl {
                 .map(|(_, c)| *c)
                 .unwrap_or(0)
         };
+        // `available_processors()` equals `num_processors()` on a healthy
+        // platform; under injected faults it excludes downed processors, so
+        // the agent never offers a group wider than a node can still serve.
         let eligible: Vec<_> = view
             .site_nodes(site)
             .filter(|n| {
-                n.queue_available() > claimed(n.addr()) && n.num_processors() >= group.tasks.len()
+                n.queue_available() > claimed(n.addr())
+                    && n.available_processors() >= group.tasks.len()
             })
             .collect();
         if eligible.is_empty() {
             return None;
         }
+        // Degradation-aware placement: a positive penalty inflates the
+        // assignment error of nodes that have lost processors.
+        let avail_pen =
+            |n: &platform::NodeView<'_>| self.cfg.availability_penalty * (1.0 - n.availability());
         if self.cfg.use_error_feedback {
             // Both feedback signals steer placement: the reward needs the
             // deadline met, the error needs pw matched to capacity. First
@@ -175,16 +183,18 @@ impl AdaptiveRl {
             if pw <= min_cap {
                 pool.iter()
                     .max_by(|a, b| {
-                        a.processing_capacity()
-                            .partial_cmp(&b.processing_capacity())
-                            .expect("capacities are finite")
+                        // The penalty discounts a degraded node's capacity
+                        // (no-op at penalty 0 or full availability).
+                        let ca = a.processing_capacity() * (1.0 - avail_pen(a)).max(0.0);
+                        let cb = b.processing_capacity() * (1.0 - avail_pen(b)).max(0.0);
+                        ca.partial_cmp(&cb).expect("capacities are finite")
                     })
                     .map(|n| n.addr())
             } else {
                 pool.iter()
                     .min_by(|a, b| {
-                        let ea = (1.0 - a.processing_capacity() / pw).abs();
-                        let eb = (1.0 - b.processing_capacity() / pw).abs();
+                        let ea = (1.0 - a.processing_capacity() / pw).abs() + avail_pen(a);
+                        let eb = (1.0 - b.processing_capacity() / pw).abs() + avail_pen(b);
                         ea.partial_cmp(&eb).expect("errors are finite")
                     })
                     .map(|n| n.addr())
@@ -308,6 +318,12 @@ impl Scheduler for AdaptiveRl {
             }
         }
         cmds
+    }
+
+    fn on_group_aborted(&mut self, _now: SimTime, group: platform::GroupId) {
+        // No Eq. (8) reward will ever arrive for a group a failure
+        // destroyed; drop the waiting sample so it cannot leak.
+        self.in_flight.remove(&group.0);
     }
 
     fn on_group_complete(&mut self, _now: SimTime, fb: &GroupFeedback) {
@@ -482,5 +498,44 @@ mod tests {
         let mut sched = AdaptiveRl::new(1, AdaptiveRlConfig::default());
         let r = ExecEngine::new(ExecConfig::default()).run(platform, wl.tasks, &mut sched);
         assert_eq!(r.incomplete, 0, "outcome {}", r.outcome);
+    }
+
+    #[test]
+    fn survives_injected_faults_with_degradation_penalty() {
+        use platform::{FaultSpec, TaskOutcome};
+        let rng = RngStream::root(23);
+        let platform = Platform::generate(PlatformSpec::small(2, 3, 4), &rng.derive("p"));
+        let mut wspec = WorkloadSpec::paper(400, 2, platform.reference_speed());
+        wspec.mean_interarrival = 0.5;
+        let wl = Workload::generate(wspec, &rng.derive("w"));
+        let cfg = AdaptiveRlConfig {
+            availability_penalty: 2.0,
+            ..AdaptiveRlConfig::default()
+        };
+        let mut sched = AdaptiveRl::new(2, cfg);
+        let exec = ExecConfig {
+            faults: FaultSpec {
+                enabled: true,
+                proc_mtbf: 200.0,
+                proc_mttr: 25.0,
+                node_mtbf: 700.0,
+                node_mttr: 50.0,
+                permanent_fraction: 0.05,
+                horizon: 500.0,
+                ..FaultSpec::default()
+            },
+            ..ExecConfig::default()
+        };
+        let r = ExecEngine::new(exec).run(platform, wl.tasks, &mut sched);
+        assert_eq!(r.outcome, "Drained");
+        assert_eq!(r.records.len(), r.num_tasks, "no task may be lost");
+        assert_eq!(r.incomplete, 0);
+        assert!(r.faults_injected > 0, "the spec must actually inject");
+        let failed = r
+            .records
+            .iter()
+            .filter(|x| x.outcome == TaskOutcome::Failed)
+            .count();
+        assert_eq!(failed, r.tasks_failed);
     }
 }

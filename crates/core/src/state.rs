@@ -31,6 +31,11 @@ pub struct SiteObservation {
     pub pending: usize,
     /// Pending-pool priority composition `[low, medium, high]`.
     pub priority_mix: [f64; 3],
+    /// Mean fraction of the site's processors currently online (`1.0` on a
+    /// healthy platform; degrades under injected faults). Not part of the
+    /// 8-wide feature vector — the paper's state has no failure component —
+    /// but exposed so a degradation-aware assignment penalty can use it.
+    pub availability: f64,
 }
 
 impl SiteObservation {
@@ -43,6 +48,7 @@ impl SiteObservation {
         let mut power = 0.0;
         let mut cap = 0.0;
         let mut max_procs = 0usize;
+        let mut avail = 0.0;
         for node in view.site_nodes(site) {
             n += 1;
             load += node.load();
@@ -52,6 +58,7 @@ impl SiteObservation {
             power += powers.iter().sum::<f64>() / powers.len().max(1) as f64;
             cap += node.processing_capacity();
             max_procs = max_procs.max(node.num_processors());
+            avail += node.availability();
         }
         let nf = n.max(1) as f64;
         let mut mix = [0.0; 3];
@@ -71,6 +78,7 @@ impl SiteObservation {
             max_procs,
             pending: pending.len(),
             priority_mix: mix,
+            availability: avail / nf,
         }
     }
 
@@ -121,6 +129,7 @@ mod tests {
         let obs = SiteObservation::observe(&view, SiteId(0), &site_tasks);
         assert_eq!(obs.mean_load, 0.0);
         assert_eq!(obs.mean_queue_free, 1.0);
+        assert_eq!(obs.availability, 1.0);
         // Idle draw 48 / 95.
         assert!((obs.mean_power_frac - 48.0 / 95.0).abs() < 1e-9);
         assert_eq!(obs.max_procs, 4);

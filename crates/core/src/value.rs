@@ -85,6 +85,7 @@ mod tests {
             max_procs: 6,
             pending: 8,
             priority_mix: [0.3, 0.4, 0.3],
+            availability: 1.0,
         }
     }
 

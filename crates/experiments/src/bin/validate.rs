@@ -1,11 +1,14 @@
 //! Shape validator: runs reduced versions of every experiment and checks
 //! each qualitative claim of the paper against this build, printing
-//! PASS/FAIL per claim. Exit code 1 if any claim fails.
+//! PASS/FAIL per claim. Exit code 1 if any claim fails, 2 if a report
+//! comes back malformed (missing series or empty point lists).
 //!
 //! This is the same set of guarantees `tests/figure_shapes.rs` enforces in
 //! CI, packaged as a standalone reproduction check.
 
 use experiments::{experiment1, experiment2, experiment3, Exp1Options, Exp2Options, Exp3Options};
+use metrics::FigureReport;
+use simcore::Series;
 
 struct Checker {
     failures: u32,
@@ -22,8 +25,27 @@ impl Checker {
     }
 }
 
-fn main() {
-    let mut c = Checker { failures: 0 };
+/// Looks a series up by label, as a structural error rather than a panic.
+fn series<'a>(fig: &'a FigureReport, label: &str) -> Result<&'a Series, String> {
+    fig.series_named(label)
+        .ok_or_else(|| format!("report {:?} has no series {label:?}", fig.title))
+}
+
+fn first_y(s: &Series) -> Result<f64, String> {
+    Ok(s.points
+        .first()
+        .ok_or_else(|| format!("series {:?} is empty", s.label))?
+        .y)
+}
+
+fn last_y(s: &Series) -> Result<f64, String> {
+    Ok(s.points
+        .last()
+        .ok_or_else(|| format!("series {:?} is empty", s.label))?
+        .y)
+}
+
+fn run(c: &mut Checker) -> Result<(), String> {
     let quick = std::env::var("ARL_QUICK").is_ok();
 
     // --- Experiment 1 ----------------------------------------------------
@@ -41,30 +63,26 @@ fn main() {
         }
     };
     let (fig7, fig8) = experiment1(&e1);
-    let adaptive_rt = fig7.series_named("Adaptive RL").unwrap();
-    let last_rt = adaptive_rt.points.last().unwrap().y;
-    let first_rt = adaptive_rt.points.first().unwrap().y;
+    let adaptive_rt = series(&fig7, "Adaptive RL")?;
+    let last_rt = last_y(adaptive_rt)?;
+    let first_rt = first_y(adaptive_rt)?;
     for s in &fig7.series {
         if s.label == "Adaptive RL" {
             continue;
         }
-        let other = s.points.last().unwrap().y;
+        let other = last_y(s)?;
         c.check(
             &format!("Fig.7: Adaptive-RL beats {} at the heaviest load", s.label),
             last_rt < other,
             format!("{last_rt:.2} vs {other:.2}"),
         );
     }
-    let worst_last = fig7
-        .series
-        .iter()
-        .map(|s| s.points.last().unwrap().y)
-        .fold(f64::NEG_INFINITY, f64::max);
-    let worst_first = fig7
-        .series
-        .iter()
-        .map(|s| s.points.first().unwrap().y)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let mut worst_last = f64::NEG_INFINITY;
+    let mut worst_first = f64::NEG_INFINITY;
+    for s in &fig7.series {
+        worst_last = worst_last.max(last_y(s)?);
+        worst_first = worst_first.max(first_y(s)?);
+    }
     c.check(
         "Fig.7: the response-time gap widens with load",
         worst_last / last_rt > worst_first / first_rt,
@@ -74,20 +92,8 @@ fn main() {
             worst_last / last_rt
         ),
     );
-    let a_e = fig8
-        .series_named("Adaptive RL")
-        .unwrap()
-        .points
-        .last()
-        .unwrap()
-        .y;
-    let o_e = fig8
-        .series_named("Online RL")
-        .unwrap()
-        .points
-        .last()
-        .unwrap()
-        .y;
+    let a_e = last_y(series(&fig8, "Adaptive RL")?)?;
+    let o_e = last_y(series(&fig8, "Online RL")?)?;
     c.check(
         "Fig.8: Adaptive-RL lowest energy, Online RL comparable (<35% off)",
         a_e < o_e && o_e / a_e < 1.35,
@@ -110,8 +116,9 @@ fn main() {
     };
     let (fig9, fig10) = experiment2(&e2);
     for (fig, tag) in [(&fig9, "Fig.9 (heavy)"), (&fig10, "Fig.10 (light)")] {
-        let adaptive = &fig.series[0];
-        let online = &fig.series[1];
+        let [adaptive, online, ..] = fig.series.as_slice() else {
+            return Err(format!("report {:?} has fewer than two series", fig.title));
+        };
         c.check(
             &format!("{tag}: Adaptive-RL utilisation rises with learning cycles"),
             adaptive.is_monotone_nondecreasing(0.05),
@@ -129,7 +136,7 @@ fn main() {
             format!("{dominated}/10 deciles"),
         );
     }
-    let heavy_end = fig9.series[0].points.last().unwrap().y;
+    let heavy_end = last_y(&fig9.series[0])?;
     c.check(
         "Fig.9: heavy-state utilisation ends above 0.6",
         heavy_end > 0.6,
@@ -152,16 +159,24 @@ fn main() {
         }
     };
     let (fig11, fig12) = experiment3(&e3);
-    let heavy_mean = fig11.series[0].y_mean().unwrap();
+    let [heavy_sr, light_sr, ..] = fig11.series.as_slice() else {
+        return Err(format!(
+            "report {:?} has fewer than two series",
+            fig11.title
+        ));
+    };
+    let heavy_mean = heavy_sr
+        .y_mean()
+        .ok_or_else(|| format!("series {:?} is empty", heavy_sr.label))?;
     c.check(
         "Fig.11: >70% of tasks meet deadlines on average (heavy state, paper's claim)",
         heavy_mean > 0.7,
         format!("{heavy_mean:.3}"),
     );
-    let light_above = fig11.series[0]
+    let light_above = heavy_sr
         .points
         .iter()
-        .zip(&fig11.series[1].points)
+        .zip(&light_sr.points)
         .all(|(h, l)| l.y >= h.y - 0.03);
     c.check(
         "Fig.11: light state at or above heavy state",
@@ -169,15 +184,23 @@ fn main() {
         String::new(),
     );
     for s in &fig12.series {
-        let first = s.points.first().unwrap().y;
-        let last = s.points.last().unwrap().y;
+        let first = first_y(s)?;
+        let last = last_y(s)?;
         c.check(
             &format!("Fig.12: energy roughly flat in heterogeneity ({})", s.label),
             last / first < 1.4 && first / last < 1.4,
             format!("{first:.3} -> {last:.3}"),
         );
     }
+    Ok(())
+}
 
+fn main() {
+    let mut c = Checker { failures: 0 };
+    if let Err(e) = run(&mut c) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
     println!();
     if c.failures == 0 {
         println!("all shape claims reproduced");

@@ -23,9 +23,15 @@ pub fn success_rate(r: &RunResult) -> f64 {
     r.success_rate()
 }
 
-/// The `q`-quantile of per-task response times; `None` on an empty run.
+/// The `q`-quantile of per-task response times over completed tasks
+/// (failure-abandoned tasks have no completion); `None` on an empty run.
 pub fn response_time_quantile(r: &RunResult, q: f64) -> Option<f64> {
-    let rts: Vec<f64> = r.records.iter().map(|rec| rec.response_time()).collect();
+    let rts: Vec<f64> = r
+        .records
+        .iter()
+        .filter(|rec| rec.outcome != platform::TaskOutcome::Failed)
+        .map(|rec| rec.response_time())
+        .collect();
     quantile(&rts, q)
 }
 
@@ -128,6 +134,17 @@ pub struct RunSummary {
     pub response_p95: f64,
     /// Tasks that never completed (0 on a healthy run).
     pub incomplete: usize,
+    /// Tasks abandoned after injected failures exhausted their retry
+    /// budget (0 when fault injection is off).
+    pub failed: usize,
+    /// Fraction of submitted tasks abandoned because of failures.
+    pub failure_rate: f64,
+    /// Fault events injected into the run.
+    pub faults_injected: u64,
+    /// Tasks preempted mid-execution by failures.
+    pub preemptions: u64,
+    /// Re-dispatches of preempted or orphaned tasks.
+    pub retries: u64,
 }
 
 impl RunSummary {
@@ -162,28 +179,34 @@ impl RunSummary {
             response_p50: response_time_quantile(r, 0.5).unwrap_or(0.0),
             response_p95: response_time_quantile(r, 0.95).unwrap_or(0.0),
             incomplete: r.incomplete,
+            failed: r.tasks_failed,
+            failure_rate: r.failure_rate(),
+            faults_injected: r.faults_injected,
+            preemptions: r.preemptions,
+            retries: r.retries,
         }
     }
 
     /// One fixed-width table row (pair with [`RunSummary::header`]).
     pub fn row(&self) -> String {
         format!(
-            "{:<28} {:>7} {:>10.2} {:>10.3} {:>8.3} {:>8.3} {:>10.1}",
+            "{:<28} {:>7} {:>10.2} {:>10.3} {:>8.3} {:>8.3} {:>10.1} {:>7}",
             self.scheduler,
             self.num_tasks,
             self.avg_response_time,
             self.energy_millions,
             self.success_rate,
             self.mean_utilisation,
-            self.makespan
+            self.makespan,
+            self.failed
         )
     }
 
     /// Table header matching [`RunSummary::row`].
     pub fn header() -> String {
         format!(
-            "{:<28} {:>7} {:>10} {:>10} {:>8} {:>8} {:>10}",
-            "scheduler", "tasks", "aveRT", "ECS(M)", "success", "util", "makespan"
+            "{:<28} {:>7} {:>10} {:>10} {:>8} {:>8} {:>10} {:>7}",
+            "scheduler", "tasks", "aveRT", "ECS(M)", "success", "util", "makespan", "failed"
         )
     }
 

@@ -16,6 +16,7 @@
 //! utilisation-versus-learning-cycle curves are derived from the
 //! [`CycleSample`] log.
 
+use crate::fault::{FaultPlan, FaultSpec, FaultTarget, PlannedFault};
 use crate::group::{GroupId, TaskGroup};
 use crate::ids::{NodeAddr, ProcAddr};
 use crate::queue::QueuedGroup;
@@ -24,7 +25,9 @@ use crate::topology::{Platform, PlatformSpec};
 use crate::view::PlatformView;
 use serde::{Deserialize, Serialize};
 use simcore::engine::{Engine, EngineHandle, RunOutcome, Simulation};
+use simcore::rng::RngStream;
 use simcore::time::{SimDuration, SimTime};
+use std::collections::HashMap;
 use workload::{Priority, SiteId, Task, TaskId};
 
 /// Engine configuration.
@@ -38,6 +41,10 @@ pub struct ExecConfig {
     pub fuse: u64,
     /// Hard wall on simulated time; the run aborts past this.
     pub max_time: f64,
+    /// Fault-injection knobs. Disabled by default: with `faults.enabled ==
+    /// false` the engine draws no fault randomness and behaves exactly as
+    /// it did before the fault subsystem existed.
+    pub faults: FaultSpec,
 }
 
 impl Default for ExecConfig {
@@ -47,8 +54,21 @@ impl Default for ExecConfig {
             tick_interval: 5.0,
             fuse: 50_000_000,
             max_time: 1.0e7,
+            faults: FaultSpec::default(),
         }
     }
+}
+
+/// How a task's lifecycle ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskOutcome {
+    /// Finished within its deadline.
+    Met,
+    /// Finished, but after its deadline.
+    Missed,
+    /// Abandoned: injected failures exhausted its re-dispatch budget, or
+    /// its site permanently lost every processor.
+    Failed,
 }
 
 /// Full per-task outcome record.
@@ -80,6 +100,15 @@ pub struct TaskRecord {
     pub met: bool,
     /// Whether it entered execution through the split process.
     pub split: bool,
+    /// How the lifecycle ended (`met` is `outcome == Met`, kept for
+    /// compatibility). For [`TaskOutcome::Failed`] records, `finished` is
+    /// the abandonment instant, and `node`/`group`/`started` hold the last
+    /// known assignment (or `NodeAddr {site, node: 0}` / [`GroupId::NONE`]
+    /// / the abandonment instant when the task never dispatched).
+    pub outcome: TaskOutcome,
+    /// Re-dispatch attempts consumed by failures (0 on an undisturbed
+    /// task).
+    pub attempts: u32,
 }
 
 impl TaskRecord {
@@ -142,6 +171,21 @@ pub struct RunResult {
     pub split_starts: u64,
     /// Dispatch commands bounced back to the scheduler.
     pub rejections: u64,
+    /// Tasks abandoned after injected failures exhausted their retry
+    /// budget (each still gets a [`TaskOutcome::Failed`] record).
+    pub tasks_failed: usize,
+    /// Queued groups destroyed by failures before completing.
+    pub groups_aborted: u64,
+    /// Fault events injected (processor and whole-node failures).
+    pub faults_injected: u64,
+    /// Planned outages whose recovery was applied (same units as
+    /// [`RunResult::faults_injected`]; superseded or permanent outages
+    /// never recover).
+    pub faults_recovered: u64,
+    /// Tasks preempted mid-execution by failures.
+    pub preemptions: u64,
+    /// Re-dispatches of preempted or orphaned tasks.
+    pub retries: u64,
     /// Processor population of the platform.
     pub total_procs: usize,
     /// Sum of nominal processor speeds (MIPS) — the denominator of the
@@ -157,12 +201,19 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// Eq. (4) average response time over completed tasks.
+    /// Eq. (4) average response time over completed tasks. Tasks abandoned
+    /// because of injected failures never completed and are excluded.
     pub fn avg_response_time(&self) -> f64 {
-        if self.records.is_empty() {
+        let done: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.outcome != TaskOutcome::Failed)
+            .map(|r| r.response_time())
+            .collect();
+        if done.is_empty() {
             return 0.0;
         }
-        self.records.iter().map(|r| r.response_time()).sum::<f64>() / self.records.len() as f64
+        done.iter().sum::<f64>() / done.len() as f64
     }
 
     /// Successful rate (§V Exp. 3): deadline-met fraction over submitted
@@ -173,14 +224,27 @@ impl RunResult {
         }
         self.records.iter().filter(|r| r.met).count() as f64 / self.num_tasks as f64
     }
+
+    /// Fraction of submitted tasks abandoned because of failures.
+    pub fn failure_rate(&self) -> f64 {
+        if self.num_tasks == 0 {
+            return 0.0;
+        }
+        self.tasks_failed as f64 / self.num_tasks as f64
+    }
 }
 
+/// Engine events. `TaskDone`/`WakeDone` carry the processor's fault epoch
+/// at scheduling time: a failure bumps the epoch, so completions and wake
+/// transitions queued before the crash arrive stale and are ignored.
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     Arrival(u32),
-    TaskDone(ProcAddr),
-    WakeDone(ProcAddr),
+    TaskDone(ProcAddr, u32),
+    WakeDone(ProcAddr, u32),
     Tick,
+    Fault(u32),
+    Recover(u32),
 }
 
 #[derive(Debug, Clone, Copy, Default)]
@@ -190,8 +254,13 @@ struct Partial {
     dispatched: Option<SimTime>,
     started: Option<SimTime>,
     finished: Option<SimTime>,
+    /// Instant the task was abandoned (retry budget exhausted or site
+    /// permanently dead). Mutually exclusive with `finished`.
+    failed_at: Option<SimTime>,
     met: bool,
     split: bool,
+    /// Re-dispatch attempts consumed by failures.
+    attempts: u32,
 }
 
 struct Driver<'s, S: Scheduler> {
@@ -210,9 +279,41 @@ struct Driver<'s, S: Scheduler> {
     split_starts: u64,
     rejections: u64,
     last_completion: SimTime,
+    /// The fault timeline (empty when faults are disabled).
+    plan: Vec<PlannedFault>,
+    /// Flat processor-index base per node (for `epochs`/`offline_until`).
+    proc_base: HashMap<NodeAddr, usize>,
+    /// Per-processor fault epoch; bumped on every failure so queued
+    /// `TaskDone`/`WakeDone` events from before the crash are recognised
+    /// as stale.
+    epochs: Vec<u32>,
+    /// Per-processor end of the current outage: `0` when never failed,
+    /// `INFINITY` when permanently dead, otherwise the latest planned
+    /// recovery instant (overlapping outages max-merge).
+    offline_until: Vec<f64>,
+    /// Per-site count of processors not permanently failed. Zero means the
+    /// site can never execute anything again.
+    site_perm_procs: Vec<usize>,
+    failed_tasks: usize,
+    faults_injected: u64,
+    faults_recovered: u64,
+    preemptions: u64,
+    retries: u64,
+    groups_aborted: u64,
 }
 
 impl<S: Scheduler> Driver<'_, S> {
+    /// Flat processor index (into `epochs` / `offline_until`).
+    fn pidx(&self, p: ProcAddr) -> usize {
+        self.proc_base[&p.node] + p.proc as usize
+    }
+
+    /// Tasks resolved so far: every arrived task must end up completed
+    /// (met or missed) or failed — the conservation invariant.
+    fn resolved(&self) -> usize {
+        self.completed + self.failed_tasks
+    }
+
     /// Starts every task that can start on `addr` right now, per the
     /// batch-start and split rules. Returns events to schedule.
     fn start_ready(&mut self, addr: NodeAddr, now: SimTime) -> Vec<(SimTime, Ev)> {
@@ -269,10 +370,13 @@ impl<S: Scheduler> Driver<'_, S> {
                             if let Some(until) = node.processors[i].begin_wake(now, &power) {
                                 out.push((
                                     until,
-                                    Ev::WakeDone(ProcAddr {
-                                        node: addr,
-                                        proc: i as u32,
-                                    }),
+                                    Ev::WakeDone(
+                                        ProcAddr {
+                                            node: addr,
+                                            proc: i as u32,
+                                        },
+                                        self.epochs[self.proc_base[&addr] + i],
+                                    ),
                                 ));
                                 woken += 1;
                             }
@@ -314,10 +418,13 @@ impl<S: Scheduler> Driver<'_, S> {
                 );
                 out.push((
                     finish,
-                    Ev::TaskDone(ProcAddr {
-                        node: addr,
-                        proc: proc_idx as u32,
-                    }),
+                    Ev::TaskDone(
+                        ProcAddr {
+                            node: addr,
+                            proc: proc_idx as u32,
+                        },
+                        self.epochs[self.proc_base[&addr] + proc_idx],
+                    ),
                 ));
                 let p = &mut self.partials[task.id.0 as usize];
                 p.started = Some(now);
@@ -344,9 +451,18 @@ impl<S: Scheduler> Driver<'_, S> {
                 } => {
                     let accept = {
                         let node = self.platform.node(addr);
+                        // `available_processors()` equals `num_processors()`
+                        // on a healthy node, so without faults this check is
+                        // unchanged; under faults it refuses groups wider
+                        // than the node's surviving capacity.
                         !tasks.is_empty()
-                            && tasks.len() <= node.num_processors()
+                            && tasks.len() <= node.available_processors()
                             && node.queue.available() > 0
+                            && (!self.cfg.faults.enabled
+                                || tasks.iter().all(|t| {
+                                    let p = &self.partials[t.id.0 as usize];
+                                    p.finished.is_none() && p.failed_at.is_none()
+                                }))
                     };
                     if !accept {
                         self.rejections += 1;
@@ -400,7 +516,8 @@ impl<S: Scheduler> Driver<'_, S> {
                     if let Some(until) = self.platform.node_mut(p.node).processors[p.proc as usize]
                         .begin_wake(now, &power)
                     {
-                        out.push((until, Ev::WakeDone(p)));
+                        let epoch = self.epochs[self.proc_base[&p.node] + p.proc as usize];
+                        out.push((until, Ev::WakeDone(p, epoch)));
                     }
                 }
             }
@@ -424,7 +541,44 @@ impl<S: Scheduler> Driver<'_, S> {
         }
     }
 
-    fn handle_task_done(&mut self, proc: ProcAddr, now: SimTime) -> Vec<(SimTime, Ev)> {
+    /// Finalises a completed group: removes it from the queue, logs the
+    /// learning cycle, and delivers the Eq. (8) reward feedback.
+    fn complete_group(&mut self, addr: NodeAddr, group_id: GroupId, now: SimTime) {
+        let qg = self
+            .platform
+            .node_mut(addr)
+            .queue
+            .remove(group_id)
+            .expect("group present");
+        self.groups_completed += 1;
+        self.cycle += 1;
+        self.cycles.push(CycleSample {
+            cycle: self.cycle,
+            time: now.as_f64(),
+            work_mi: self.finished_work,
+        });
+        let fb = GroupFeedback {
+            group: group_id,
+            node: addr,
+            policy: qg.group.policy,
+            size: qg.group.len(),
+            reward: qg.met,
+            pw: qg.pw,
+            error: qg.assign_error,
+            enqueued_at: qg.enqueued_at,
+            first_start: qg.first_start,
+            completed_at: now,
+            split: qg.split_mode,
+        };
+        self.sched.on_group_complete(now, &fb);
+    }
+
+    fn handle_task_done(&mut self, proc: ProcAddr, epoch: u32, now: SimTime) -> Vec<(SimTime, Ev)> {
+        if self.epochs[self.pidx(proc)] != epoch {
+            // The processor failed after this completion was scheduled; the
+            // running task was preempted and the event is stale.
+            return Vec::new();
+        }
         let addr = proc.node;
         let (task_id, group_id) =
             self.platform.node_mut(addr).processors[proc.proc as usize].finish_task(now);
@@ -441,9 +595,10 @@ impl<S: Scheduler> Driver<'_, S> {
         self.completed += 1;
         self.last_completion = now;
 
-        let node = self.platform.node_mut(addr);
         let complete = {
-            let g = node
+            let g = self
+                .platform
+                .node_mut(addr)
                 .queue
                 .find_mut(group_id)
                 .expect("running group is queued");
@@ -456,30 +611,287 @@ impl<S: Scheduler> Driver<'_, S> {
         };
         let mut out = Vec::new();
         if complete {
-            let qg = node.queue.remove(group_id).expect("group present");
-            self.groups_completed += 1;
-            self.cycle += 1;
-            self.cycles.push(CycleSample {
-                cycle: self.cycle,
-                time: now.as_f64(),
-                work_mi: self.finished_work,
-            });
-            let fb = GroupFeedback {
-                group: group_id,
-                node: addr,
-                policy: qg.group.policy,
-                size: qg.group.len(),
-                reward: qg.met,
-                pw: qg.pw,
-                error: qg.assign_error,
-                enqueued_at: qg.enqueued_at,
-                first_start: qg.first_start,
-                completed_at: now,
-                split: qg.split_mode,
-            };
-            self.sched.on_group_complete(now, &fb);
+            self.complete_group(addr, group_id, now);
         }
         out.extend(self.start_ready(addr, now));
+        out.extend(self.dispatch_round(now));
+        out
+    }
+
+    /// Marks a task abandoned: failures exhausted its retry budget, or its
+    /// site can never execute anything again.
+    fn give_up(&mut self, task_id: TaskId, now: SimTime) {
+        let p = &mut self.partials[task_id.0 as usize];
+        debug_assert!(p.finished.is_none() && p.failed_at.is_none());
+        p.failed_at = Some(now);
+        self.failed_tasks += 1;
+    }
+
+    /// Re-dispatches tasks lost to a failure. Each orphan consumes one unit
+    /// of its retry budget; tasks over budget (or stranded on a dead site)
+    /// are abandoned. Survivors are handed back to their site agent with a
+    /// recomputed priority: a task whose remaining slack has shrunk below
+    /// half its original deadline budget escalates to `High` (§III.B —
+    /// urgency rises as the deadline nears).
+    fn process_orphans(&mut self, orphans: Vec<TaskId>, now: SimTime) {
+        let max_retries = self.cfg.faults.max_retries;
+        let mut by_site: HashMap<SiteId, Vec<Task>> = HashMap::new();
+        let mut sites: Vec<SiteId> = Vec::new();
+        for task_id in orphans {
+            let task = self.tasks[task_id.0 as usize];
+            let attempts = {
+                let p = &mut self.partials[task_id.0 as usize];
+                p.attempts += 1;
+                p.attempts
+            };
+            let site_dead = self.site_perm_procs[task.site.0 as usize] == 0;
+            if attempts > max_retries || site_dead {
+                self.give_up(task_id, now);
+                continue;
+            }
+            self.retries += 1;
+            let mut t = task;
+            let budget = task.deadline.since(task.arrival).as_f64();
+            let slack = task.deadline.as_f64() - now.as_f64();
+            if slack <= 0.5 * budget && t.priority < Priority::High {
+                t.priority = Priority::High;
+            }
+            by_site.entry(t.site).or_insert_with(|| {
+                sites.push(t.site);
+                Vec::new()
+            });
+            by_site.get_mut(&t.site).expect("just inserted").push(t);
+        }
+        // Deterministic delivery order (HashMap iteration is not).
+        for site in sites {
+            let batch = by_site.remove(&site).expect("site recorded");
+            self.sched.on_orphaned(now, site, batch);
+        }
+    }
+
+    /// Applies planned fault `idx`: fails the target processor(s), preempts
+    /// their running tasks, aborts groups a failure has stranded, and
+    /// routes every lost task back through the re-dispatch path.
+    fn handle_fault(&mut self, idx: usize, now: SimTime) -> Vec<(SimTime, Ev)> {
+        if self.resolved() == self.tasks.len() {
+            // Run already settled; let the remaining timeline drain without
+            // disturbing post-makespan accounting.
+            return Vec::new();
+        }
+        let fault = self.plan[idx];
+        let addr = fault.target.node();
+        let permanent = fault.recover_at.is_none();
+        let base = self.proc_base[&addr];
+        let procs: Vec<usize> = match fault.target {
+            FaultTarget::Proc(p) => vec![p.proc as usize],
+            FaultTarget::Node(_) => (0..self.platform.node(addr).num_processors()).collect(),
+        };
+        self.faults_injected += 1;
+        let mut orphans: Vec<TaskId> = Vec::new();
+        let mut touched_groups: Vec<GroupId> = Vec::new();
+        for pi in procs {
+            let flat = base + pi;
+            // Record this outage window (overlapping outages max-merge).
+            let end = match fault.recover_at {
+                None => f64::INFINITY,
+                Some(r) => r.as_f64(),
+            };
+            if self.offline_until[flat] < end {
+                self.offline_until[flat] = end;
+            }
+            if self.platform.node(addr).processors[pi].is_failed() {
+                continue;
+            }
+            self.epochs[flat] = self.epochs[flat].wrapping_add(1);
+            let preempted = self.platform.node_mut(addr).processors[pi].fail(now);
+            if let Some((task_id, group_id)) = preempted {
+                self.preemptions += 1;
+                {
+                    let g = self
+                        .platform
+                        .node_mut(addr)
+                        .queue
+                        .find_mut(group_id)
+                        .expect("running group is queued");
+                    g.running -= 1;
+                    g.lost += 1;
+                }
+                let p = &mut self.partials[task_id.0 as usize];
+                p.started = None;
+                p.node = None;
+                p.group = None;
+                p.dispatched = None;
+                p.split = false;
+                orphans.push(task_id);
+                if !touched_groups.contains(&group_id) {
+                    touched_groups.push(group_id);
+                }
+            }
+        }
+        // Permanent-death accounting: recount the site's not-permanently-
+        // failed processors (idempotent, so overlap handling stays simple).
+        if permanent {
+            let alive_total: usize = self
+                .platform
+                .node_addrs()
+                .iter()
+                .filter(|a| a.site == addr.site)
+                .map(|a| {
+                    let b = self.proc_base[a];
+                    let n = self.platform.node(*a).num_processors();
+                    (0..n)
+                        .filter(|&pi| !self.offline_until[b + pi].is_infinite())
+                        .count()
+                })
+                .sum();
+            self.site_perm_procs[addr.site.0 as usize] = alive_total;
+        }
+        // Groups this fault completed by member loss: if any member did
+        // finish, the reward feedback still flows; a group that lost every
+        // member is aborted instead.
+        for gid in touched_groups {
+            let status = self
+                .platform
+                .node(addr)
+                .queue
+                .iter()
+                .find(|g| g.group.id == gid)
+                .map(|g| (g.is_complete(), g.done));
+            if let Some((true, done)) = status {
+                if done > 0 {
+                    self.complete_group(addr, gid, now);
+                } else {
+                    self.abort_group(addr, gid, now, &mut orphans);
+                }
+            }
+        }
+        // Stranded sweep: queued groups on this node that can never run to
+        // completion on what is left of it.
+        self.sweep_stranded(addr, now, &mut orphans);
+        self.process_orphans(orphans, now);
+        // A dead site strands tasks still pending at the scheduler too.
+        if self.cfg.faults.enabled {
+            self.sweep_dead_site_pending(addr.site, now);
+        }
+        let mut out = self.start_ready(addr, now);
+        out.extend(self.dispatch_round(now));
+        out
+    }
+
+    /// Removes a queued group destroyed by a failure. Members not yet
+    /// resolved are appended to `orphans` for re-dispatch.
+    fn abort_group(
+        &mut self,
+        addr: NodeAddr,
+        gid: GroupId,
+        now: SimTime,
+        orphans: &mut Vec<TaskId>,
+    ) {
+        let qg = self
+            .platform
+            .node_mut(addr)
+            .queue
+            .remove(gid)
+            .expect("aborting a queued group");
+        for t in &qg.group.tasks {
+            let p = &mut self.partials[t.id.0 as usize];
+            // Finished members keep their records; members the preemption
+            // loop already orphaned were detached (`group` cleared) there.
+            if p.finished.is_none() && p.failed_at.is_none() && p.group == Some(gid) {
+                p.node = None;
+                p.group = None;
+                p.dispatched = None;
+                p.started = None;
+                p.split = false;
+                orphans.push(t.id);
+            }
+        }
+        self.groups_aborted += 1;
+        self.sched.on_group_aborted(now, gid);
+    }
+
+    /// Aborts queued groups on `addr` that the node's surviving processor
+    /// population can never finish: a never-started group needs its full
+    /// width at once; a started group only needs one processor to drain.
+    fn sweep_stranded(&mut self, addr: NodeAddr, now: SimTime, orphans: &mut Vec<TaskId>) {
+        let base = self.proc_base[&addr];
+        let perm_alive = {
+            let n = self.platform.node(addr).num_processors();
+            (0..n)
+                .filter(|&pi| !self.offline_until[base + pi].is_infinite())
+                .count()
+        };
+        let stranded: Vec<GroupId> = self
+            .platform
+            .node(addr)
+            .queue
+            .iter()
+            .filter(|g| {
+                if g.running > 0 || g.is_complete() {
+                    return false;
+                }
+                let needed = if g.has_started() { 1 } else { g.group.len() };
+                perm_alive < needed
+            })
+            .map(|g| g.group.id)
+            .collect();
+        for gid in stranded {
+            self.abort_group(addr, gid, now, orphans);
+        }
+    }
+
+    /// When a site has permanently lost all processors, tasks still pending
+    /// at the scheduler (arrived, never resolved, not currently in any
+    /// group) can never run: fail them now so the run terminates.
+    fn sweep_dead_site_pending(&mut self, site: SiteId, now: SimTime) {
+        if self.site_perm_procs[site.0 as usize] > 0 {
+            return;
+        }
+        for i in 0..self.tasks.len() {
+            let t = self.tasks[i];
+            if t.site != site || t.arrival > now {
+                continue;
+            }
+            let p = &self.partials[i];
+            if p.finished.is_none() && p.failed_at.is_none() && p.group.is_none() {
+                self.give_up(t.id, now);
+            }
+        }
+    }
+
+    /// Applies planned recovery `idx`: brings the processor back online
+    /// unless a later overlapping outage supersedes this one.
+    fn handle_recover(&mut self, idx: usize, now: SimTime) -> Vec<(SimTime, Ev)> {
+        if self.resolved() == self.tasks.len() {
+            return Vec::new();
+        }
+        let fault = self.plan[idx];
+        let addr = fault.target.node();
+        let base = self.proc_base[&addr];
+        let procs: Vec<usize> = match fault.target {
+            FaultTarget::Proc(p) => vec![p.proc as usize],
+            FaultTarget::Node(_) => (0..self.platform.node(addr).num_processors()).collect(),
+        };
+        let mut any = false;
+        for pi in procs {
+            let flat = base + pi;
+            // Skip when a longer overlapping outage owns this processor.
+            if self.offline_until[flat] > now.as_f64() + 1e-9 {
+                continue;
+            }
+            let node = self.platform.node_mut(addr);
+            if node.processors[pi].is_failed() {
+                node.processors[pi].recover(now);
+                any = true;
+            }
+        }
+        if !any {
+            return Vec::new();
+        }
+        // One planned outage = one recovery, matching `faults_injected`
+        // units (a node event counts once, not once per processor).
+        self.faults_recovered += 1;
+        let mut out = self.start_ready(addr, now);
         out.extend(self.dispatch_round(now));
         out
     }
@@ -495,14 +907,30 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
         let scheduled = match event {
             Ev::Arrival(idx) => {
                 let task = self.tasks[idx as usize];
-                self.sched.on_arrivals(now, task.site, vec![task]);
-                self.dispatch_round(now)
+                if self.cfg.faults.enabled && self.site_perm_procs[task.site.0 as usize] == 0 {
+                    // The site permanently lost every processor before this
+                    // task arrived: nothing can ever run it.
+                    self.give_up(task.id, now);
+                    Vec::new()
+                } else {
+                    self.sched.on_arrivals(now, task.site, vec![task]);
+                    self.dispatch_round(now)
+                }
             }
-            Ev::TaskDone(proc) => self.handle_task_done(proc, now),
-            Ev::WakeDone(proc) => {
-                self.platform.node_mut(proc.node).processors[proc.proc as usize].finish_wake(now);
-                self.start_ready(proc.node, now)
+            Ev::TaskDone(proc, epoch) => self.handle_task_done(proc, epoch, now),
+            Ev::WakeDone(proc, epoch) => {
+                if self.epochs[self.pidx(proc)] != epoch {
+                    // The processor failed mid-wake; the transition never
+                    // completes.
+                    Vec::new()
+                } else {
+                    self.platform.node_mut(proc.node).processors[proc.proc as usize]
+                        .finish_wake(now);
+                    self.start_ready(proc.node, now)
+                }
             }
+            Ev::Fault(idx) => self.handle_fault(idx as usize, now),
+            Ev::Recover(idx) => self.handle_recover(idx as usize, now),
             Ev::Tick => {
                 let mut evs = {
                     let cmds = {
@@ -516,7 +944,7 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
                     }
                 };
                 evs.extend(self.dispatch_round(now));
-                if self.completed < self.tasks.len() {
+                if self.resolved() < self.tasks.len() {
                     handle.schedule_in(SimDuration::new(self.cfg.tick_interval), Ev::Tick);
                 }
                 evs
@@ -575,12 +1003,27 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
 pub struct ExecEngine {
     /// Engine configuration.
     pub cfg: ExecConfig,
+    /// Scripted fault timeline. When set, it overrides the generated plan
+    /// (and is honoured even with `cfg.faults.enabled == false` randomness
+    /// knobs, as long as `enabled` is true).
+    fault_plan: Option<FaultPlan>,
 }
 
 impl ExecEngine {
     /// Creates an engine with the given configuration.
     pub fn new(cfg: ExecConfig) -> Self {
-        ExecEngine { cfg }
+        ExecEngine {
+            cfg,
+            fault_plan: None,
+        }
+    }
+
+    /// Replaces the MTBF-generated fault timeline with a scripted one
+    /// (tests and what-if experiments). Implies nothing about
+    /// `cfg.faults.enabled`; set that too or the plan is ignored.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// Runs the simulation to completion and collects the results.
@@ -611,6 +1054,30 @@ impl ExecEngine {
             .map(|t| t.arrival.as_f64())
             .fold(0.0_f64, f64::max);
         let name = sched.name().to_string();
+        self.cfg.faults.validate();
+        let plan = if self.cfg.faults.enabled {
+            match &self.fault_plan {
+                Some(p) => p.clone(),
+                None if self.cfg.faults.is_active() => FaultPlan::generate(
+                    &self.cfg.faults,
+                    &platform,
+                    &RngStream::root(self.cfg.faults.seed),
+                ),
+                None => FaultPlan::empty(),
+            }
+        } else {
+            FaultPlan::empty()
+        };
+        let mut proc_base = HashMap::new();
+        let mut flat = 0usize;
+        let mut site_perm_procs = vec![0usize; platform.num_sites()];
+        for site in &platform.sites {
+            for node in &site.nodes {
+                proc_base.insert(node.addr, flat);
+                flat += node.num_processors();
+                site_perm_procs[node.addr.site.0 as usize] += node.num_processors();
+            }
+        }
         let mut driver = Driver {
             platform,
             partials: vec![Partial::default(); num_tasks],
@@ -627,12 +1094,29 @@ impl ExecEngine {
             split_starts: 0,
             rejections: 0,
             last_completion: SimTime::ZERO,
+            plan: plan.events,
+            proc_base,
+            epochs: vec![0; flat],
+            offline_until: vec![0.0; flat],
+            site_perm_procs,
+            failed_tasks: 0,
+            faults_injected: 0,
+            faults_recovered: 0,
+            preemptions: 0,
+            retries: 0,
+            groups_aborted: 0,
         };
         let mut engine = Engine::new().with_fuse(self.cfg.fuse);
         for (i, t) in driver.tasks.iter().enumerate() {
             engine.prime(t.arrival, Ev::Arrival(i as u32));
         }
         engine.prime(SimTime::new(self.cfg.tick_interval), Ev::Tick);
+        for (i, f) in driver.plan.iter().enumerate() {
+            engine.prime(f.at, Ev::Fault(i as u32));
+            if let Some(r) = f.recover_at {
+                engine.prime(r, Ev::Recover(i as u32));
+            }
+        }
         let outcome = engine.run(&mut driver);
 
         let makespan = driver.last_completion;
@@ -641,23 +1125,52 @@ impl ExecEngine {
             .iter()
             .enumerate()
             .filter_map(|(i, p)| {
-                let finished = p.finished?;
                 let task = driver.tasks[i];
-                Some(TaskRecord {
-                    task: task.id,
-                    site: task.site,
-                    node: p.node.expect("finished implies dispatched"),
-                    group: p.group.expect("finished implies grouped"),
-                    priority: task.priority,
-                    size_mi: task.size_mi,
-                    arrival: task.arrival,
-                    dispatched: p.dispatched.expect("finished implies dispatched"),
-                    started: p.started.expect("finished implies started"),
-                    finished,
-                    deadline: task.deadline,
-                    met: p.met,
-                    split: p.split,
-                })
+                if let Some(finished) = p.finished {
+                    Some(TaskRecord {
+                        task: task.id,
+                        site: task.site,
+                        node: p.node.expect("finished implies dispatched"),
+                        group: p.group.expect("finished implies grouped"),
+                        priority: task.priority,
+                        size_mi: task.size_mi,
+                        arrival: task.arrival,
+                        dispatched: p.dispatched.expect("finished implies dispatched"),
+                        started: p.started.expect("finished implies started"),
+                        finished,
+                        deadline: task.deadline,
+                        met: p.met,
+                        split: p.split,
+                        outcome: if p.met {
+                            TaskOutcome::Met
+                        } else {
+                            TaskOutcome::Missed
+                        },
+                        attempts: p.attempts,
+                    })
+                } else {
+                    let failed_at = p.failed_at?;
+                    Some(TaskRecord {
+                        task: task.id,
+                        site: task.site,
+                        node: p.node.unwrap_or(NodeAddr {
+                            site: task.site,
+                            node: 0,
+                        }),
+                        group: p.group.unwrap_or(GroupId::NONE),
+                        priority: task.priority,
+                        size_mi: task.size_mi,
+                        arrival: task.arrival,
+                        dispatched: p.dispatched.unwrap_or(failed_at),
+                        started: p.started.unwrap_or(failed_at),
+                        finished: failed_at,
+                        deadline: task.deadline,
+                        met: false,
+                        split: p.split,
+                        outcome: TaskOutcome::Failed,
+                        attempts: p.attempts,
+                    })
+                }
             })
             .collect();
         let incomplete = num_tasks - records.len();
@@ -673,6 +1186,12 @@ impl ExecEngine {
             groups_completed: driver.groups_completed,
             split_starts: driver.split_starts,
             rejections: driver.rejections,
+            tasks_failed: driver.failed_tasks,
+            groups_aborted: driver.groups_aborted,
+            faults_injected: driver.faults_injected,
+            faults_recovered: driver.faults_recovered,
+            preemptions: driver.preemptions,
+            retries: driver.retries,
             total_procs,
             total_mips,
             arrival_horizon,
@@ -962,5 +1481,211 @@ mod tests {
             with.avg_response_time(),
             without.avg_response_time()
         );
+    }
+
+    // ---- fault injection ----
+
+    fn outcome_partition(r: &RunResult) {
+        assert_eq!(
+            r.records.len(),
+            r.num_tasks,
+            "every arrived task must end in exactly one record"
+        );
+        assert_eq!(r.incomplete, 0, "no task may be lost");
+        let met = r
+            .records
+            .iter()
+            .filter(|x| x.outcome == TaskOutcome::Met)
+            .count();
+        let missed = r
+            .records
+            .iter()
+            .filter(|x| x.outcome == TaskOutcome::Missed)
+            .count();
+        let failed = r
+            .records
+            .iter()
+            .filter(|x| x.outcome == TaskOutcome::Failed)
+            .count();
+        assert_eq!(met + missed + failed, r.num_tasks);
+        assert_eq!(failed, r.tasks_failed);
+        for rec in &r.records {
+            assert_eq!(rec.met, rec.outcome == TaskOutcome::Met);
+        }
+    }
+
+    fn grouper_run(faults: FaultSpec, plan: Option<FaultPlan>) -> RunResult {
+        let rng = RngStream::root(21);
+        let platform = Platform::generate(PlatformSpec::small(1, 2, 4), &rng.derive("p"));
+        let mut spec = WorkloadSpec::paper(300, 1, platform.reference_speed());
+        spec.mean_interarrival = 0.4; // oversubscribe to force queueing and splits
+        let wl = Workload::generate(spec, &rng.derive("w"));
+        let mut sched = Grouper {
+            pending: Vec::new(),
+        };
+        let mut engine = ExecEngine::new(ExecConfig {
+            faults,
+            ..ExecConfig::default()
+        });
+        if let Some(p) = plan {
+            engine = engine.with_fault_plan(p);
+        }
+        engine.run(platform, wl.tasks, &mut sched)
+    }
+
+    #[test]
+    fn disabled_faults_are_bit_identical() {
+        let base = grouper_run(FaultSpec::default(), None);
+        // Knobs set but master switch off: provably zero impact.
+        let knobs = grouper_run(
+            FaultSpec {
+                enabled: false,
+                proc_mtbf: 10.0,
+                node_mtbf: 20.0,
+                ..FaultSpec::default()
+            },
+            None,
+        );
+        assert_eq!(base.makespan, knobs.makespan);
+        assert_eq!(base.total_energy, knobs.total_energy);
+        assert_eq!(base.records, knobs.records);
+        assert_eq!(knobs.faults_injected, 0);
+        assert_eq!(knobs.tasks_failed, 0);
+        assert_eq!(knobs.preemptions, 0);
+    }
+
+    #[test]
+    fn failure_during_split_conserves_tasks() {
+        // A whole-node outage plus a single-processor outage land while the
+        // oversubscribed Grouper workload is splitting groups.
+        let plan = FaultPlan::from_events(vec![
+            PlannedFault {
+                at: SimTime::new(30.0),
+                target: FaultTarget::Node(NodeAddr::new(0, 0)),
+                recover_at: Some(SimTime::new(60.0)),
+            },
+            PlannedFault {
+                at: SimTime::new(45.0),
+                target: FaultTarget::Proc(ProcAddr {
+                    node: NodeAddr::new(0, 1),
+                    proc: 0,
+                }),
+                recover_at: Some(SimTime::new(70.0)),
+            },
+        ]);
+        let r = grouper_run(
+            FaultSpec {
+                enabled: true,
+                ..FaultSpec::default()
+            },
+            Some(plan),
+        );
+        assert_eq!(r.outcome, "Drained");
+        outcome_partition(&r);
+        assert_eq!(r.faults_injected, 2);
+        assert!(r.preemptions > 0, "busy node outage must preempt something");
+        assert!(r.retries > 0, "preempted tasks must be re-dispatched");
+        assert!(r.split_starts > 0, "load should still trigger splits");
+        assert!(
+            r.records
+                .iter()
+                .any(|x| x.attempts > 0 && x.outcome != TaskOutcome::Failed),
+            "some preempted task should still run to completion"
+        );
+    }
+
+    #[test]
+    fn permanent_loss_of_every_processor_fails_remaining_tasks() {
+        // Both nodes of the only site die for good mid-run: every task not
+        // yet finished must end as Failed, and the run must still drain.
+        let rng = RngStream::root(7);
+        let platform = Platform::generate(PlatformSpec::small(1, 2, 2), &rng.derive("p"));
+        let wl = Workload::generate(
+            WorkloadSpec::paper(100, 1, platform.reference_speed()),
+            &rng.derive("w"),
+        );
+        let mut sched = Fcfs {
+            pending: Vec::new(),
+        };
+        let plan = FaultPlan::from_events(vec![
+            PlannedFault {
+                at: SimTime::new(20.0),
+                target: FaultTarget::Node(NodeAddr::new(0, 0)),
+                recover_at: None,
+            },
+            PlannedFault {
+                at: SimTime::new(25.0),
+                target: FaultTarget::Node(NodeAddr::new(0, 1)),
+                recover_at: None,
+            },
+        ]);
+        let engine = ExecEngine::new(ExecConfig {
+            faults: FaultSpec {
+                enabled: true,
+                ..FaultSpec::default()
+            },
+            ..ExecConfig::default()
+        })
+        .with_fault_plan(plan);
+        let r = engine.run(platform, wl.tasks, &mut sched);
+        assert_eq!(r.outcome, "Drained");
+        outcome_partition(&r);
+        assert!(r.tasks_failed > 0, "a dead site must strand tasks");
+        assert!(r
+            .records
+            .iter()
+            .all(|x| x.outcome != TaskOutcome::Failed || !x.met),);
+        // Nothing finishes after the second (fatal) failure.
+        for rec in &r.records {
+            if rec.outcome != TaskOutcome::Failed {
+                assert!(rec.finished.as_f64() <= 25.0 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_fault_runs_are_deterministic() {
+        let spec = FaultSpec {
+            enabled: true,
+            proc_mtbf: 150.0,
+            proc_mttr: 20.0,
+            node_mtbf: 500.0,
+            node_mttr: 40.0,
+            permanent_fraction: 0.05,
+            horizon: 400.0,
+            ..FaultSpec::default()
+        };
+        let a = grouper_run(spec, None);
+        let b = grouper_run(spec, None);
+        assert!(a.faults_injected > 0, "active spec must inject something");
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_energy, b.total_energy);
+        assert_eq!(a.records, b.records);
+        outcome_partition(&a);
+        assert_eq!(a.outcome, "Drained");
+    }
+
+    #[test]
+    fn retry_budget_bounds_attempts() {
+        let spec = FaultSpec {
+            enabled: true,
+            proc_mtbf: 40.0, // very hostile
+            proc_mttr: 10.0,
+            max_retries: 2,
+            horizon: 600.0,
+            ..FaultSpec::default()
+        };
+        let r = grouper_run(spec, None);
+        outcome_partition(&r);
+        for rec in &r.records {
+            assert!(
+                rec.attempts <= spec.max_retries + 1,
+                "attempts {} exceed budget",
+                rec.attempts
+            );
+        }
     }
 }

@@ -15,6 +15,12 @@ use workload::{Priority, Task};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct GroupId(pub u64);
 
+impl GroupId {
+    /// Sentinel for "no group": used in records of tasks that a failure
+    /// abandoned before they were ever (re-)dispatched.
+    pub const NONE: GroupId = GroupId(u64::MAX);
+}
+
 impl fmt::Display for GroupId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "G{}", self.0)

@@ -19,11 +19,14 @@
 //!   generation (Exp. 3),
 //! * [`view`] — read-only platform snapshots handed to schedulers,
 //! * [`scheduler`] — the scheduler trait, commands, feedback signals,
+//! * [`fault`] — deterministic fault-injection plans (processor / node
+//!   failures with recovery),
 //! * [`engine`] — the simulation driver producing a [`RunResult`].
 
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod group;
 pub mod heterogeneity;
 pub mod ids;
@@ -35,7 +38,8 @@ pub mod scheduler;
 pub mod topology;
 pub mod view;
 
-pub use engine::{ExecConfig, ExecEngine, RunResult, TaskRecord};
+pub use engine::{ExecConfig, ExecEngine, RunResult, TaskOutcome, TaskRecord};
+pub use fault::{FaultPlan, FaultSpec, FaultTarget, PlannedFault};
 pub use group::{GroupId, GroupPolicy, TaskGroup};
 pub use ids::{NodeAddr, ProcAddr};
 pub use node::ComputeNode;

@@ -81,6 +81,22 @@ impl ComputeNode {
         self.processors.iter().filter(|p| p.is_asleep()).count()
     }
 
+    /// Number of processors currently down from injected faults.
+    pub fn failed_count(&self) -> usize {
+        self.processors.iter().filter(|p| p.is_failed()).count()
+    }
+
+    /// Processors not currently failed — the node's usable capacity under
+    /// faults (equals `num_processors()` on a healthy node).
+    pub fn available_processors(&self) -> usize {
+        self.processors.len() - self.failed_count()
+    }
+
+    /// Fraction of processors currently online (`1.0` on a healthy node).
+    pub fn availability(&self) -> f64 {
+        self.available_processors() as f64 / self.processors.len() as f64
+    }
+
     /// Sets the throttle level, clamped to `[0.1, 1.0]`.
     pub fn set_throttle(&mut self, level: f64) {
         self.throttle = level.clamp(0.1, 1.0);

@@ -35,6 +35,9 @@ pub enum ProcState {
         /// Instant the processor becomes usable.
         until: SimTime,
     },
+    /// Crashed by an injected fault (draws nothing). Leaves this state
+    /// only through [`Processor::recover`].
+    Failed,
 }
 
 /// A processor: immutable capability parameters plus mutable state and
@@ -50,6 +53,7 @@ pub struct Processor {
     busy_time: f64,
     idle_time: f64,
     sleep_time: f64,
+    failed_time: f64,
     energy: f64,
     tasks_executed: u64,
     p_idle: f64,
@@ -71,6 +75,7 @@ impl Processor {
             busy_time: 0.0,
             idle_time: 0.0,
             sleep_time: 0.0,
+            failed_time: 0.0,
             energy: 0.0,
             tasks_executed: 0,
             p_idle: params.p_idle,
@@ -98,6 +103,11 @@ impl Processor {
         matches!(self.state, ProcState::Busy { .. })
     }
 
+    /// Whether the processor is down from an injected fault.
+    pub fn is_failed(&self) -> bool {
+        matches!(self.state, ProcState::Failed)
+    }
+
     /// Instantaneous power draw in watts.
     pub fn current_power(&self) -> f64 {
         match self.state {
@@ -107,6 +117,8 @@ impl Processor {
             // Wake-up draws the inrush/peak wattage while the package
             // re-energises — part of what makes careless sleeping costly.
             ProcState::Waking { .. } => self.p_peak,
+            // A crashed package draws nothing.
+            ProcState::Failed => 0.0,
         }
     }
 
@@ -119,6 +131,7 @@ impl Processor {
                 ProcState::Idle | ProcState::Waking { .. } => self.idle_time += dt,
                 ProcState::Busy { .. } => self.busy_time += dt,
                 ProcState::Asleep => self.sleep_time += dt,
+                ProcState::Failed => self.failed_time += dt,
             }
         }
         self.last_transition = now;
@@ -207,6 +220,33 @@ impl Processor {
         Some(until)
     }
 
+    /// Crashes the processor, whatever it was doing. If it was executing,
+    /// returns the preempted `(task, group)` so the engine can re-dispatch
+    /// the work; the partially executed instructions are lost. No-op
+    /// (returning `None`) if already failed.
+    pub fn fail(&mut self, now: SimTime) -> Option<(TaskId, GroupId)> {
+        if self.is_failed() {
+            return None;
+        }
+        self.settle(now);
+        let preempted = match self.state {
+            ProcState::Busy { task, group, .. } => Some((task, group)),
+            _ => None,
+        };
+        self.state = ProcState::Failed;
+        preempted
+    }
+
+    /// Brings a failed processor back online (idle).
+    ///
+    /// # Panics
+    /// Panics if the processor is not failed.
+    pub fn recover(&mut self, now: SimTime) {
+        assert!(self.is_failed(), "recover on a non-failed processor");
+        self.settle(now);
+        self.state = ProcState::Idle;
+    }
+
     /// Completes a wake transition.
     ///
     /// # Panics
@@ -256,6 +296,11 @@ impl Processor {
     /// Cumulative sleep time (settled transitions only).
     pub fn sleep_time(&self) -> f64 {
         self.sleep_time
+    }
+
+    /// Cumulative downtime from injected faults (settled transitions only).
+    pub fn failed_time(&self) -> f64 {
+        self.failed_time
     }
 }
 
@@ -367,6 +412,53 @@ mod tests {
             1.0,
             &params,
         );
+    }
+
+    #[test]
+    fn fail_preempts_and_draws_nothing() {
+        let params = PowerParams::paper();
+        let mut p = proc();
+        p.start_task(SimTime::ZERO, TaskId(7), GroupId(3), 5000.0, 1.0, &params);
+        // Crash at t=2: the running task comes back out.
+        let preempted = p.fail(SimTime::new(2.0));
+        assert_eq!(preempted, Some((TaskId(7), GroupId(3))));
+        assert!(p.is_failed());
+        assert_eq!(p.current_power(), 0.0);
+        // Downtime accrues zero energy: 2 s busy at 80 W, then nothing.
+        assert!((p.energy_at(SimTime::new(10.0)) - 2.0 * 80.0).abs() < 1e-9);
+        // The preempted task never counted as executed.
+        assert_eq!(p.tasks_executed(), 0);
+        // Double fault is a no-op.
+        assert_eq!(p.fail(SimTime::new(3.0)), None);
+        p.recover(SimTime::new(10.0));
+        assert!(p.is_idle());
+        assert_eq!(p.failed_time(), 8.0);
+    }
+
+    #[test]
+    fn fail_from_idle_and_sleep() {
+        let params = PowerParams {
+            p_sleep: 5.0,
+            ..PowerParams::paper()
+        };
+        let mut idle = Processor::new(500.0, &params);
+        assert_eq!(idle.fail(SimTime::new(1.0)), None);
+        assert!(idle.is_failed());
+        assert!(!idle.is_idle() && !idle.is_asleep());
+        let mut asleep = Processor::new(500.0, &params);
+        asleep.sleep(SimTime::ZERO);
+        assert_eq!(asleep.fail(SimTime::new(1.0)), None);
+        assert!(asleep.is_failed());
+        // A failed processor cannot sleep or wake.
+        assert!(!asleep.sleep(SimTime::new(2.0)));
+        assert!(asleep.begin_wake(SimTime::new(2.0), &params).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-failed")]
+    fn recover_requires_failed() {
+        let mut p = proc();
+        p.recover(SimTime::new(1.0));
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub struct QueuedGroup {
     pub running: u32,
     /// Members finished.
     pub done: u32,
+    /// Members lost to failures (preempted mid-execution and returned to
+    /// the site agent for re-dispatch). They no longer count toward this
+    /// group's completion.
+    pub lost: u32,
     /// Members finished within their deadline.
     pub met: u32,
     /// When the first member started (the group's wait end).
@@ -49,6 +53,7 @@ impl QueuedGroup {
             next_start: 0,
             running: 0,
             done: 0,
+            lost: 0,
             met: 0,
             first_start: None,
             split_mode: false,
@@ -61,9 +66,10 @@ impl QueuedGroup {
         self.group.len() - self.next_start
     }
 
-    /// Whether every member has finished.
+    /// Whether every member has been resolved — finished, or lost to a
+    /// failure and handed back for re-dispatch elsewhere.
     pub fn is_complete(&self) -> bool {
-        self.done as usize == self.group.len()
+        (self.done + self.lost) as usize == self.group.len()
     }
 
     /// Whether any member has started.
@@ -240,6 +246,15 @@ mod tests {
         assert_eq!(qg.unstarted(), 1);
         assert!(qg.has_started());
         qg.done = 3;
+        assert!(qg.is_complete());
+    }
+
+    #[test]
+    fn lost_members_count_toward_completion() {
+        let mut qg = QueuedGroup::new(group(1, 3), SimTime::ZERO);
+        qg.done = 2;
+        assert!(!qg.is_complete());
+        qg.lost = 1;
         assert!(qg.is_complete());
     }
 

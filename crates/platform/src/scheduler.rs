@@ -141,6 +141,21 @@ pub trait Scheduler {
         self.on_arrivals(now, site, tasks);
     }
 
+    /// Tasks lost to an injected failure (preempted mid-execution or
+    /// orphaned in a drained queue) come back to their site agent for
+    /// re-dispatch, still within their retry budget and possibly with an
+    /// escalated priority (§III.B: urgency rises as slack shrinks). The
+    /// default re-buffers them as fresh arrivals — ignore-and-retry
+    /// semantics, which every baseline inherits for free.
+    fn on_orphaned(&mut self, now: SimTime, site: SiteId, tasks: Vec<Task>) {
+        self.on_arrivals(now, site, tasks);
+    }
+
+    /// A queued group was destroyed by a failure before completing; no
+    /// Eq. (8) reward will ever arrive for it. Learning schedulers should
+    /// drop any sample awaiting that group's feedback.
+    fn on_group_aborted(&mut self, _now: SimTime, _group: GroupId) {}
+
     /// Periodic control tick (decision-interval controllers override this).
     fn on_tick(&mut self, _now: SimTime, _view: &PlatformView<'_>) -> Vec<Command> {
         Vec::new()

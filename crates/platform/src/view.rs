@@ -132,6 +132,17 @@ impl NodeView<'_> {
         self.node.asleep_count()
     }
 
+    /// Processors not currently failed (usable capacity under faults;
+    /// equals `num_processors()` on a healthy node).
+    pub fn available_processors(&self) -> usize {
+        self.node.available_processors()
+    }
+
+    /// Fraction of processors currently online (`1.0` when no faults).
+    pub fn availability(&self) -> f64 {
+        self.node.availability()
+    }
+
     /// Sum of nominal processor speeds (MIPS).
     pub fn raw_speed(&self) -> f64 {
         self.node.raw_speed()
@@ -165,6 +176,11 @@ impl NodeView<'_> {
     /// Whether processor `i` is idle.
     pub fn proc_is_idle(&self, i: usize) -> bool {
         self.node.processors[i].is_idle()
+    }
+
+    /// Whether processor `i` is down from an injected fault.
+    pub fn proc_is_failed(&self, i: usize) -> bool {
+        self.node.processors[i].is_failed()
     }
 }
 

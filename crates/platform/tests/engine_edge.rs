@@ -312,7 +312,11 @@ fn split_pulls_edf_tasks_from_the_next_waiting_group() {
         .map(|rec| rec.finished)
         .max()
         .unwrap();
-    let g2_split_records: Vec<_> = r.records.iter().filter(|rec| rec.group.0 == 1 && rec.split).collect();
+    let g2_split_records: Vec<_> = r
+        .records
+        .iter()
+        .filter(|rec| rec.group.0 == 1 && rec.split)
+        .collect();
     assert!(!g2_split_records.is_empty());
     for rec in &g2_split_records {
         assert!(
@@ -322,7 +326,11 @@ fn split_pulls_edf_tasks_from_the_next_waiting_group() {
     }
     // Split order follows EDF within group 1: the split-started members
     // must hold the earliest deadlines of the group.
-    let max_split_deadline = g2_split_records.iter().map(|rec| rec.deadline).max().unwrap();
+    let max_split_deadline = g2_split_records
+        .iter()
+        .map(|rec| rec.deadline)
+        .max()
+        .unwrap();
     let unsplit_min_deadline = r
         .records
         .iter()

@@ -1,0 +1,111 @@
+//! Extension demo: scheduling through node and processor failures.
+//!
+//! The paper's evaluation assumes a reliable platform; this library ships
+//! a seeded fault-injection layer (`FaultSpec` on `ExecConfig`) that takes
+//! processors and whole nodes down mid-run. In-flight tasks are preempted
+//! and re-dispatched under a bounded retry budget, and the Adaptive-RL
+//! agent can additionally be made degradation-aware
+//! (`AdaptiveRlConfig::availability_penalty`), steering groups away from
+//! nodes that have lost processors.
+//!
+//! The demo runs Adaptive-RL (with and without the penalty) against the
+//! Round-robin reference while roughly 5% of the platform's nodes are down
+//! at any instant, and prints the cost of the outages.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use adaptive_rl_sched::adaptive_rl::{AdaptiveRl, AdaptiveRlConfig};
+use adaptive_rl_sched::baselines::RoundRobin;
+use adaptive_rl_sched::metrics::RunSummary;
+use adaptive_rl_sched::platform::{
+    ExecConfig, ExecEngine, FaultSpec, Platform, PlatformSpec, RunResult, Scheduler,
+};
+use adaptive_rl_sched::simcore::rng::RngStream;
+use adaptive_rl_sched::workload::{Workload, WorkloadSpec};
+
+/// Node outages at ≈5% steady-state unavailability: each node is down for
+/// a mean of 30 t.u. out of every 600, plus sporadic single-processor
+/// faults on top.
+fn five_percent_node_failures() -> FaultSpec {
+    FaultSpec {
+        enabled: true,
+        node_mtbf: 570.0,
+        node_mttr: 30.0,
+        proc_mtbf: 900.0,
+        proc_mttr: 20.0,
+        permanent_fraction: 0.02,
+        ..FaultSpec::default()
+    }
+}
+
+fn run<S: Scheduler>(sched: &mut S, faults: bool) -> RunResult {
+    let rng = RngStream::root(2026);
+    let platform = Platform::generate(
+        PlatformSpec {
+            num_sites: 3,
+            nodes_per_site: (4, 6),
+            procs_per_node: (4, 6),
+            ..PlatformSpec::paper(3)
+        },
+        &rng.derive("platform"),
+    );
+    let mut wspec = WorkloadSpec::paper(600, 3, platform.reference_speed());
+    wspec.mean_interarrival = 0.5;
+    let workload = Workload::generate(wspec, &rng.derive("workload"));
+    let cfg = ExecConfig {
+        faults: if faults {
+            five_percent_node_failures()
+        } else {
+            FaultSpec::default()
+        },
+        ..ExecConfig::default()
+    };
+    ExecEngine::new(cfg).run(platform, workload.tasks, sched)
+}
+
+fn main() {
+    let adaptive = |penalty: f64| {
+        AdaptiveRl::new(
+            3,
+            AdaptiveRlConfig {
+                availability_penalty: penalty,
+                ..AdaptiveRlConfig::default()
+            },
+        )
+    };
+    println!(
+        "{:<34} {:>7} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "scheduler", "hit%", "failed%", "ECS(M)", "aveRT", "preempts", "retries"
+    );
+    for faults in [false, true] {
+        let mut runs: Vec<(String, RunResult)> = vec![
+            ("Adaptive RL".into(), run(&mut adaptive(0.0), faults)),
+            (
+                "Adaptive RL (degradation-aware)".into(),
+                run(&mut adaptive(2.0), faults),
+            ),
+            ("Round-robin".into(), run(&mut RoundRobin::new(3), faults)),
+        ];
+        if !faults {
+            println!("-- healthy platform --");
+        } else {
+            println!("-- ~5% of nodes down at any instant --");
+        }
+        for (name, r) in runs.drain(..) {
+            // The recovery path guarantees no task is silently lost.
+            assert_eq!(r.incomplete, 0, "{name} lost tasks");
+            let s = RunSummary::from_run(&r);
+            println!(
+                "{name:<34} {:>6.1}% {:>7.1}% {:>8.3} {:>8.2} {:>9} {:>8}",
+                100.0 * s.success_rate,
+                100.0 * s.failure_rate,
+                s.energy_millions,
+                s.avg_response_time,
+                r.preemptions,
+                r.retries
+            );
+        }
+    }
+}

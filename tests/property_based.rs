@@ -3,7 +3,8 @@
 
 use adaptive_rl_sched::adaptive_rl::AdaptiveRlConfig;
 use adaptive_rl_sched::experiments::{runner, Scenario, SchedulerKind};
-use adaptive_rl_sched::platform::PlatformSpec;
+use adaptive_rl_sched::platform::{FaultPlan, FaultSpec, Platform, PlatformSpec, TaskOutcome};
+use adaptive_rl_sched::simcore::rng::RngStream;
 use adaptive_rl_sched::workload::PriorityMix;
 use proptest::prelude::*;
 
@@ -28,6 +29,32 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 let rest = 1.0 - low;
                 sc.priority_mix = PriorityMix::new(low, rest / 2.0, rest / 2.0);
                 sc
+            },
+        )
+}
+
+/// Strategy over active (injecting) fault specifications.
+fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+    (
+        40.0f64..400.0,
+        5.0f64..40.0,
+        100.0f64..800.0,
+        10.0f64..80.0,
+        0.0f64..0.25,
+        0u32..4,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(proc_mtbf, proc_mttr, node_mtbf, node_mttr, permanent, retries, seed)| FaultSpec {
+                enabled: true,
+                proc_mtbf,
+                proc_mttr,
+                node_mtbf,
+                node_mttr,
+                permanent_fraction: permanent,
+                max_retries: retries,
+                horizon: 600.0,
+                seed,
             },
         )
 }
@@ -103,5 +130,70 @@ proptest! {
         prop_assert_eq!(a.makespan, b.makespan);
         prop_assert_eq!(a.total_energy, b.total_energy);
         prop_assert_eq!(a.split_starts, b.split_starts);
+    }
+
+    #[test]
+    fn fault_plan_generation_is_deterministic(faults in fault_strategy(), seed in any::<u64>()) {
+        let platform = Platform::generate(
+            PlatformSpec::small(2, 3, 4),
+            &RngStream::root(seed).derive("platform"),
+        );
+        let a = FaultPlan::generate(&faults, &platform, &RngStream::root(faults.seed));
+        let b = FaultPlan::generate(&faults, &platform, &RngStream::root(faults.seed));
+        prop_assert_eq!(&a, &b);
+        // Well-formed: chronological, repairs strictly after their failure.
+        for w in a.events.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+        for ev in &a.events {
+            if let Some(rec) = ev.recover_at {
+                prop_assert!(rec > ev.at);
+            }
+            prop_assert!(ev.at.as_f64() <= faults.horizon);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_conserve_every_task(
+        sc in scenario_strategy(),
+        faults in fault_strategy(),
+        kind in kind_strategy(),
+    ) {
+        let mut sc = sc;
+        sc.exec.faults = faults;
+        let r = runner::run_scenario(&sc, &kind);
+        // Every arrived task ends in exactly one terminal state.
+        prop_assert_eq!(r.records.len(), sc.num_tasks);
+        prop_assert_eq!(r.incomplete, 0,
+            "{} lost tasks under faults (outcome {})", kind.label(), r.outcome);
+        let met = r.records.iter().filter(|x| x.outcome == TaskOutcome::Met).count();
+        let missed = r.records.iter().filter(|x| x.outcome == TaskOutcome::Missed).count();
+        let failed = r.records.iter().filter(|x| x.outcome == TaskOutcome::Failed).count();
+        prop_assert_eq!(met + missed + failed, sc.num_tasks);
+        prop_assert_eq!(failed, r.tasks_failed);
+        // The retry budget bounds re-dispatch attempts.
+        for rec in &r.records {
+            prop_assert!(rec.attempts <= faults.max_retries + 1,
+                "task {:?} took {} attempts with budget {}",
+                rec.task, rec.attempts, faults.max_retries);
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic(
+        sc in scenario_strategy(),
+        faults in fault_strategy(),
+        kind in kind_strategy(),
+    ) {
+        let mut sc = sc;
+        sc.exec.faults = faults;
+        let a = runner::run_scenario(&sc, &kind);
+        let b = runner::run_scenario(&sc, &kind);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.total_energy, b.total_energy);
+        prop_assert_eq!(a.faults_injected, b.faults_injected);
+        prop_assert_eq!(a.tasks_failed, b.tasks_failed);
+        prop_assert_eq!(a.retries, b.retries);
+        prop_assert_eq!(&a.records, &b.records);
     }
 }

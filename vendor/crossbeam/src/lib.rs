@@ -1,0 +1,75 @@
+//! Offline shim for the one `crossbeam` API the workspace uses:
+//! `crossbeam::thread::scope` with `scope.spawn(|scope| ...)` closures.
+//! Implemented over `std::thread::scope` (stable since 1.63).
+//!
+//! Divergence from upstream: a panicking child thread propagates through
+//! `std::thread::scope` instead of being collected into the returned
+//! `Result`'s `Err` — callers here immediately `.expect()` that `Result`
+//! anyway, so the observable behaviour (abort with the panic payload) is
+//! the same.
+
+/// Scoped threads (subset of `crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to `scope` closures; spawns threads that may borrow
+    /// from the enclosing scope.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle,
+        /// mirroring crossbeam's nested-spawn signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_borrowed_slots() {
+        let mut slots: Vec<Option<usize>> = vec![None; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = Some(i * i);
+                });
+            }
+        })
+        .expect("threads must not panic");
+        for (i, slot) in slots.iter().enumerate() {
+            assert_eq!(*slot, Some(i * i));
+        }
+    }
+
+    #[test]
+    fn nested_spawn_via_handle() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().expect("inner join") * 2
+            });
+            h.join().expect("outer join")
+        })
+        .expect("scope");
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline serde facade.
+//!
+//! Re-exports the no-op derive macros from the vendored [`serde_derive`]
+//! so `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` keep
+//! compiling in this air-gapped build. No runtime serialization machinery
+//! is provided — nothing in the workspace uses one.
+
+pub use serde_derive::{Deserialize, Serialize};

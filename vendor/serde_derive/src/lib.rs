@@ -1,0 +1,21 @@
+//! Offline no-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace annotates many types with `#[derive(Serialize,
+//! Deserialize)]` but never serializes through serde at runtime (the only
+//! on-disk format is `workload::trace`'s hand-rolled binary layout), so in
+//! this air-gapped build the derives expand to nothing. They still accept
+//! `#[serde(...)]` attributes so annotated code keeps compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
