@@ -119,9 +119,10 @@ pub const MAX_HOLD: f64 = 10.0;
 
 /// Whether any node of the site can start work immediately (idle processor
 /// behind an empty queue). When true, partial groups should flush.
+/// Answered from the platform's cached per-site aggregates — O(1) instead
+/// of a node scan, with the identical predicate.
 pub fn site_has_idle_node(view: &PlatformView<'_>, site: SiteId) -> bool {
-    view.site_nodes(site)
-        .any(|n| n.idle_count() > 0 && n.queue_len() == 0)
+    view.site_has_free_node(site)
 }
 
 /// Dispatch helper used by baselines that pick the least-loaded node:

@@ -6,7 +6,7 @@
 //! under load.
 
 use crate::common::{self, SitePools, SlotLedger};
-use platform::{Command, GroupPolicy, PlatformView, Scheduler};
+use platform::{Command, GroupPolicy, NodeAddr, PlatformView, Scheduler};
 use simcore::time::SimTime;
 use workload::{SiteId, Task};
 
@@ -39,21 +39,23 @@ impl Scheduler for RoundRobin {
         let mut cmds = Vec::new();
         for s in 0..self.pools.num_sites() {
             let site = SiteId(s as u32);
-            let nodes: Vec<_> = view.site_nodes(site).map(|n| n.addr()).collect();
-            if nodes.is_empty() {
+            // Node addresses are (site, index), so the cursor can address
+            // nodes directly — no per-round Vec of addresses.
+            let n_nodes = view.site_nodes(site).count();
+            if n_nodes == 0 {
                 continue;
             }
             let mut ledger = SlotLedger::new();
             let mut kept = Vec::new();
             for task in self.pools.pool_mut(s).drain(..) {
                 let mut placed = false;
-                for probe in 0..nodes.len() {
-                    let idx = (self.cursor[s] + probe) % nodes.len();
-                    let addr = nodes[idx];
+                for probe in 0..n_nodes {
+                    let idx = (self.cursor[s] + probe) % n_nodes;
+                    let addr = NodeAddr::new(s as u32, idx as u32);
                     let nv = view.node(addr);
                     if nv.queue_available() > ledger.claimed(addr) {
                         ledger.claim(addr);
-                        self.cursor[s] = (idx + 1) % nodes.len();
+                        self.cursor[s] = (idx + 1) % n_nodes;
                         cmds.push(Command::Dispatch {
                             node: addr,
                             tasks: vec![task],

@@ -1,0 +1,78 @@
+//! Dispatch-hot-path throughput benchmarks.
+//!
+//! Companion to the `throughput` experiment bin (which writes
+//! `BENCH_throughput.json`): criterion-tracked microbenches of the paths
+//! the incremental-caching work optimises — state observation from the
+//! cached aggregates, and full engine runs for every scheduler on one
+//! mid-size scenario, reported in wall time per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::{runner, Scenario, SchedulerKind};
+use platform::{Platform, PlatformSpec, PlatformView};
+use simcore::rng::RngStream;
+use simcore::SimTime;
+use std::hint::black_box;
+use workload::SiteId;
+
+/// The per-dispatch observation path: site stats, per-node cached load /
+/// queue headroom / power sums. Before the caching work this walked every
+/// processor of every node; now every read is O(1).
+fn observation(c: &mut Criterion) {
+    let platform = Platform::generate(
+        PlatformSpec {
+            num_sites: 10,
+            nodes_per_site: (20, 20),
+            procs_per_node: (6, 6),
+            ..PlatformSpec::paper(10)
+        },
+        &RngStream::root(42),
+    );
+    c.bench_function("observe_200_nodes", |b| {
+        let view = PlatformView::new(&platform, SimTime::new(1.0));
+        b.iter(|| {
+            let mut acc = 0.0;
+            for s in 0..view.num_sites() {
+                let site = SiteId(s as u32);
+                let st = view.site_stats(site);
+                acc += st.idle as f64 + st.free_nodes as f64;
+                for n in view.site_nodes(site) {
+                    acc += n.load() + n.power_sum() + n.raw_speed();
+                    acc += n.queue_available() as f64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+/// Full engine runs per scheduler — the same shape the experiment bin
+/// measures, small enough for criterion's statistics.
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput_600_tasks");
+    group.sample_size(10);
+    for kind in SchedulerKind::all_six() {
+        let sc = {
+            let mut sc = Scenario::new(0xBE7C, 600, 0.9);
+            sc.platform = PlatformSpec {
+                num_sites: 4,
+                nodes_per_site: (8, 8),
+                procs_per_node: (6, 6),
+                ..PlatformSpec::paper(4)
+            };
+            sc
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &(sc, kind),
+            |b, (sc, kind)| b.iter(|| black_box(runner::run_scenario(sc, kind).events_processed)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = observation, engine_throughput
+}
+criterion_main!(benches);

@@ -56,6 +56,9 @@ pub struct AdaptiveRl {
     issued: VecDeque<Sample>,
     /// Samples awaiting group completion, keyed by group id.
     in_flight: HashMap<u64, Sample>,
+    /// Reusable per-round ledger of queue slots claimed by this round's
+    /// dispatches — cleared per site, capacity kept across rounds.
+    used_scratch: Vec<(NodeAddr, usize)>,
 }
 
 impl AdaptiveRl {
@@ -78,6 +81,7 @@ impl AdaptiveRl {
             cycles: 0,
             issued: VecDeque::new(),
             in_flight: HashMap::new(),
+            used_scratch: Vec::new(),
             cfg,
         }
     }
@@ -116,6 +120,7 @@ impl AdaptiveRl {
         group: &MergedGroup,
         used: &[(NodeAddr, usize)],
     ) -> Option<NodeAddr> {
+        use std::cmp::Ordering;
         let pw = Self::group_pw(&group.tasks);
         let claimed = |addr: NodeAddr| {
             used.iter()
@@ -126,16 +131,9 @@ impl AdaptiveRl {
         // `available_processors()` equals `num_processors()` on a healthy
         // platform; under injected faults it excludes downed processors, so
         // the agent never offers a group wider than a node can still serve.
-        let eligible: Vec<_> = view
-            .site_nodes(site)
-            .filter(|n| {
-                n.queue_available() > claimed(n.addr())
-                    && n.available_processors() >= group.tasks.len()
-            })
-            .collect();
-        if eligible.is_empty() {
-            return None;
-        }
+        let eligible = |n: &platform::NodeView<'_>| {
+            n.queue_available() > claimed(n.addr()) && n.available_processors() >= group.tasks.len()
+        };
         // Degradation-aware placement: a positive penalty inflates the
         // assignment error of nodes that have lost processors.
         let avail_pen =
@@ -146,7 +144,8 @@ impl AdaptiveRl {
             // keep nodes that can plausibly finish the group's largest
             // member before the earliest deadline, then minimise Eq. (9)
             // among them (falling back to all eligible nodes when none
-            // qualifies).
+            // qualifies). Two streaming passes over the site's nodes stand
+            // in for the former eligible/feasible Vec materialisations.
             let now = view.now();
             let max_size = group
                 .tasks
@@ -158,52 +157,83 @@ impl AdaptiveRl {
                 .iter()
                 .map(|t| t.deadline.since(now).as_f64())
                 .fold(f64::INFINITY, f64::min);
-            let feasible: Vec<_> = eligible
-                .iter()
-                .copied()
-                .filter(|n| {
-                    let mean_speed = n.raw_speed() / n.num_processors() as f64 * n.throttle();
-                    max_size / mean_speed.max(1.0) <= earliest_slack
-                })
-                .collect();
-            let pool = if feasible.is_empty() {
-                &eligible
-            } else {
-                &feasible
+            let feasible = |n: &platform::NodeView<'_>| {
+                let mean_speed = n.raw_speed() / n.num_processors() as f64 * n.throttle();
+                max_size / mean_speed.max(1.0) <= earliest_slack
             };
+            // Pass 1: does the feasibility screen keep anyone, and what is
+            // the pool's minimum capacity under either outcome?
+            let mut any_eligible = false;
+            let mut any_feasible = false;
+            let mut min_cap_feasible = f64::INFINITY;
+            let mut min_cap_eligible = f64::INFINITY;
+            for n in view.site_nodes(site) {
+                if !eligible(&n) {
+                    continue;
+                }
+                any_eligible = true;
+                min_cap_eligible = min_cap_eligible.min(n.processing_capacity());
+                if feasible(&n) {
+                    any_feasible = true;
+                    min_cap_feasible = min_cap_feasible.min(n.processing_capacity());
+                }
+            }
+            if !any_eligible {
+                return None;
+            }
+            let min_cap = if any_feasible {
+                min_cap_feasible
+            } else {
+                min_cap_eligible
+            };
+            let in_pool =
+                |n: &platform::NodeView<'_>| eligible(n) && (!any_feasible || feasible(n));
             // §IV.D.1: "a task group with a small pw is required to be
             // executed as early as possible" — when every candidate node
             // over-provides capacity, the earliest finish is the fastest
             // node. Otherwise match pw to capacity (minimum Eq. (9)
-            // error).
-            let min_cap = pool
-                .iter()
-                .map(|n| n.processing_capacity())
-                .fold(f64::INFINITY, f64::min);
-            if pw <= min_cap {
-                pool.iter()
-                    .max_by(|a, b| {
-                        // The penalty discounts a degraded node's capacity
-                        // (no-op at penalty 0 or full availability).
-                        let ca = a.processing_capacity() * (1.0 - avail_pen(a)).max(0.0);
-                        let cb = b.processing_capacity() * (1.0 - avail_pen(b)).max(0.0);
-                        ca.partial_cmp(&cb).expect("capacities are finite")
-                    })
-                    .map(|n| n.addr())
-            } else {
-                pool.iter()
-                    .min_by(|a, b| {
-                        let ea = (1.0 - a.processing_capacity() / pw).abs() + avail_pen(a);
-                        let eb = (1.0 - b.processing_capacity() / pw).abs() + avail_pen(b);
-                        ea.partial_cmp(&eb).expect("errors are finite")
-                    })
-                    .map(|n| n.addr())
+            // error). Pass 2 selects with the original tie rules: max_by
+            // keeps the LAST maximal element, min_by the FIRST minimal.
+            let mut best: Option<(NodeAddr, f64)> = None;
+            for n in view.site_nodes(site) {
+                if !in_pool(&n) {
+                    continue;
+                }
+                if pw <= min_cap {
+                    // The penalty discounts a degraded node's capacity
+                    // (no-op at penalty 0 or full availability).
+                    let c = n.processing_capacity() * (1.0 - avail_pen(&n)).max(0.0);
+                    match best {
+                        Some((_, bc))
+                            if c.partial_cmp(&bc).expect("capacities are finite")
+                                == Ordering::Less => {}
+                        _ => best = Some((n.addr(), c)),
+                    }
+                } else {
+                    let e = (1.0 - n.processing_capacity() / pw).abs() + avail_pen(&n);
+                    match best {
+                        Some((_, be))
+                            if e.partial_cmp(&be).expect("errors are finite") != Ordering::Less => {
+                        }
+                        _ => best = Some((n.addr(), e)),
+                    }
+                }
             }
+            best.map(|(a, _)| a)
         } else {
-            eligible
-                .iter()
-                .max_by_key(|n| n.queue_available() - claimed(n.addr()))
-                .map(|n| n.addr())
+            // max_by_key keeps the last maximal element.
+            let mut best: Option<(NodeAddr, usize)> = None;
+            for n in view.site_nodes(site) {
+                if !eligible(&n) {
+                    continue;
+                }
+                let k = n.queue_available() - claimed(n.addr());
+                match best {
+                    Some((_, bk)) if k < bk => {}
+                    _ => best = Some((n.addr(), k)),
+                }
+            }
+            best.map(|(a, _)| a)
         }
     }
 }
@@ -219,6 +249,7 @@ impl Scheduler for AdaptiveRl {
 
     fn dispatch(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
         let mut cmds = Vec::new();
+        let mut used = std::mem::take(&mut self.used_scratch);
         for idx in 0..self.agents.len() {
             if self.agents[idx].pending.is_empty() {
                 continue;
@@ -244,14 +275,13 @@ impl Scheduler for AdaptiveRl {
             );
             // Hold partial chunks only while the site has no idle
             // processor — grouping must never delay tasks that could start
-            // right away.
-            let site_idle = view
-                .site_nodes(site)
-                .any(|n| n.idle_count() > 0 && n.queue_len() == 0);
+            // right away. Answered from the cached site aggregates (same
+            // predicate as the former per-node scan).
+            let site_idle = view.site_has_free_node(site);
             let effective_flush = if site_idle { 0.0 } else { self.cfg.flush_age };
             let groups =
                 grouping::merge(&mut self.agents[idx].pending, action, now, effective_flush);
-            let mut used: Vec<(NodeAddr, usize)> = Vec::new();
+            used.clear();
             for group in groups {
                 match self.select_node(view, site, &group, &used) {
                     Some(addr) => {
@@ -277,6 +307,7 @@ impl Scheduler for AdaptiveRl {
                 }
             }
         }
+        self.used_scratch = used;
         cmds
     }
 

@@ -54,8 +54,9 @@ impl SiteObservation {
             load += node.load();
             qfree += node.queue_available() as f64
                 / (node.queue_available() + node.queue_len()).max(1) as f64;
-            let powers = node.proc_powers();
-            power += powers.iter().sum::<f64>() / powers.len().max(1) as f64;
+            // Cached sum — bit-identical to summing `proc_powers()` in
+            // order, without touching the per-proc slice.
+            power += node.power_sum() / node.num_processors().max(1) as f64;
             cap += node.processing_capacity();
             max_procs = max_procs.max(node.num_processors());
             avail += node.availability();

@@ -1,0 +1,141 @@
+//! Throughput benchmark: the tracked perf number for the dispatch hot
+//! path.
+//!
+//! Runs all six `SchedulerKind`s over one large fixed-seed scenario
+//! (10 sites × 20 nodes × 6 processors = 1200 processors, 3000 tasks)
+//! and writes `BENCH_throughput.json` with wall time, tasks/sec and
+//! events/sec per scheduler plus aggregate totals. Determinism makes the
+//! workload identical across checkouts, so the numbers are comparable
+//! PR-to-PR on the same machine.
+//!
+//! `ARL_BENCH_QUICK=1` (or `ARL_QUICK=1`) shrinks the scenario for CI
+//! smoke runs — the JSON notes which mode produced it.
+//!
+//! ```text
+//! cargo run --release -p arl-experiments --bin throughput
+//! ```
+
+use experiments::{runner, Scenario, SchedulerKind};
+use platform::PlatformSpec;
+use std::time::Instant;
+
+/// The benchmark platform: the top of the paper's §V.A ranges, fixed (no
+/// per-site size randomness) so every checkout measures the same machine.
+fn bench_platform(sites: u32, nodes: u32, procs: u32) -> PlatformSpec {
+    PlatformSpec {
+        num_sites: sites,
+        nodes_per_site: (nodes, nodes),
+        procs_per_node: (procs, procs),
+        ..PlatformSpec::paper(sites)
+    }
+}
+
+struct Row {
+    label: &'static str,
+    wall_s: f64,
+    tasks: usize,
+    events: u64,
+    makespan: f64,
+    incomplete: usize,
+}
+
+fn main() {
+    let quick = std::env::var("ARL_BENCH_QUICK").is_ok() || std::env::var("ARL_QUICK").is_ok();
+    let (spec, num_tasks, reps, mode) = if quick {
+        (bench_platform(3, 5, 4), 300, 1u32, "quick")
+    } else {
+        // Deterministic runs repeat identically, so repetitions only
+        // stabilise the wall-clock measurement.
+        (bench_platform(10, 20, 6), 3000, 5u32, "full")
+    };
+    let mut sc = Scenario::new(0xBE7C, num_tasks, 0.9);
+    sc.platform = spec;
+
+    let kinds = SchedulerKind::all_six();
+
+    println!(
+        "throughput benchmark ({mode}): {} sites x {:?} nodes x {:?} procs, {} tasks",
+        sc.platform.num_sites, sc.platform.nodes_per_site, sc.platform.procs_per_node, num_tasks
+    );
+    let mut rows = Vec::new();
+    for kind in &kinds {
+        let t0 = Instant::now();
+        let mut events = 0u64;
+        let mut last = None;
+        for _ in 0..reps {
+            let r = runner::run_scenario(&sc, kind);
+            assert_eq!(
+                r.incomplete,
+                0,
+                "{} left tasks behind — benchmark run must be healthy",
+                kind.label()
+            );
+            events += r.events_processed;
+            last = Some(r);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let r = last.expect("at least one rep");
+        let tasks = num_tasks * reps as usize;
+        println!(
+            "  {:<28} {:>8.3}s  {:>10.0} tasks/s  {:>12.0} events/s",
+            kind.label(),
+            wall,
+            tasks as f64 / wall,
+            events as f64 / wall
+        );
+        rows.push(Row {
+            label: kind.label(),
+            wall_s: wall,
+            tasks,
+            events,
+            makespan: r.makespan,
+            incomplete: r.incomplete,
+        });
+    }
+
+    let total_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
+    let total_tasks: usize = rows.iter().map(|r| r.tasks).sum();
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    println!(
+        "aggregate: {:.3}s wall, {:.0} tasks/s, {:.0} events/s",
+        total_wall,
+        total_tasks as f64 / total_wall,
+        total_events as f64 / total_wall
+    );
+
+    // No JSON crate is vendored; the schema is flat enough to format by
+    // hand. `{:?}` on f64 prints a round-trippable representation.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!("  \"num_tasks\": {num_tasks},\n"));
+    json.push_str(&format!(
+        "  \"platform\": {{ \"sites\": {}, \"nodes_per_site\": {}, \"procs_per_node\": {} }},\n",
+        sc.platform.num_sites, sc.platform.nodes_per_site.0, sc.platform.procs_per_node.0
+    ));
+    json.push_str("  \"schedulers\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"label\": \"{}\", \"wall_s\": {:?}, \"tasks_per_s\": {:?}, \
+             \"events_per_s\": {:?}, \"events\": {}, \"makespan\": {:?}, \"incomplete\": {} }}{}\n",
+            r.label,
+            r.wall_s,
+            r.tasks as f64 / r.wall_s,
+            r.events as f64 / r.wall_s,
+            r.events,
+            r.makespan,
+            r.incomplete,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"aggregate\": {{ \"wall_s\": {:?}, \"tasks_per_s\": {:?}, \"events_per_s\": {:?} }}\n",
+        total_wall,
+        total_tasks as f64 / total_wall,
+        total_events as f64 / total_wall
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+    println!("wrote BENCH_throughput.json");
+}

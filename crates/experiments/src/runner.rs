@@ -38,6 +38,16 @@ impl SchedulerKind {
         ]
     }
 
+    /// Every policy with default settings — the paper four plus the two
+    /// non-learning references. The throughput benchmark and golden
+    /// determinism tests cover this full set.
+    pub fn all_six() -> Vec<SchedulerKind> {
+        let mut kinds = Self::paper_four();
+        kinds.push(SchedulerKind::RoundRobin);
+        kinds.push(SchedulerKind::GreedyEdf);
+        kinds
+    }
+
     /// Display name matching the scheduler's `name()`.
     pub fn label(&self) -> &'static str {
         match self {
@@ -100,19 +110,31 @@ pub fn run_scenario(scenario: &Scenario, kind: &SchedulerKind) -> RunResult {
 }
 
 /// Runs `reps` replications (seeds `base_seed + i`), in parallel across
-/// available cores via crossbeam scoped threads. Results are returned in
-/// replication order, so aggregation stays deterministic regardless of
-/// scheduling.
+/// available cores via crossbeam scoped threads. The fan-out is capped at
+/// the machine's available parallelism — each worker thread owns a
+/// contiguous, strided-free chunk of the replication indices instead of
+/// one thread per replication, so a 100-rep sweep no longer spawns 100
+/// simultaneous simulations. Results are returned in replication order,
+/// so aggregation stays deterministic regardless of scheduling.
 pub fn run_replicated(scenario: &Scenario, kind: &SchedulerKind, reps: u32) -> Vec<RunResult> {
     assert!(reps > 0, "need at least one replication");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(reps as usize);
     let mut slots: Vec<Option<RunResult>> = (0..reps).map(|_| None).collect();
+    // Ceil-divide so every replication lands in exactly one chunk.
+    let chunk = slots.len().div_ceil(workers);
     crossbeam::thread::scope(|scope| {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            let mut sc = scenario.clone();
-            sc.seed = scenario.seed.wrapping_add(i as u64);
+        for (c, block) in slots.chunks_mut(chunk).enumerate() {
             let kind = kind.clone();
             scope.spawn(move |_| {
-                *slot = Some(run_scenario(&sc, &kind));
+                for (j, slot) in block.iter_mut().enumerate() {
+                    let i = c * chunk + j;
+                    let mut sc = scenario.clone();
+                    sc.seed = scenario.seed.wrapping_add(i as u64);
+                    *slot = Some(run_scenario(&sc, &kind));
+                }
             });
         }
     })

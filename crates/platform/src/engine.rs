@@ -198,6 +198,9 @@ pub struct RunResult {
     pub platform_spec: PlatformSpec,
     /// How the event loop ended.
     pub outcome: String,
+    /// Simulation events processed by the event loop — the numerator of
+    /// the throughput benchmark's events/sec figure.
+    pub events_processed: u64,
 }
 
 impl RunResult {
@@ -281,8 +284,10 @@ struct Driver<'s, S: Scheduler> {
     last_completion: SimTime,
     /// The fault timeline (empty when faults are disabled).
     plan: Vec<PlannedFault>,
-    /// Flat processor-index base per node (for `epochs`/`offline_until`).
-    proc_base: HashMap<NodeAddr, usize>,
+    /// Flat processor-index base per `[site][node]` (for `epochs`/
+    /// `offline_until`) — plain vector indexing, no hashing on the hot
+    /// path.
+    proc_base: Vec<Vec<usize>>,
     /// Per-processor fault epoch; bumped on every failure so queued
     /// `TaskDone`/`WakeDone` events from before the crash are recognised
     /// as stale.
@@ -300,12 +305,21 @@ struct Driver<'s, S: Scheduler> {
     preemptions: u64,
     retries: u64,
     groups_aborted: u64,
+    /// Reused buffer for nodes touched by one command batch.
+    touched_scratch: Vec<NodeAddr>,
+    /// Reused buffer for events produced by one engine event.
+    ev_scratch: Vec<(SimTime, Ev)>,
 }
 
 impl<S: Scheduler> Driver<'_, S> {
     /// Flat processor index (into `epochs` / `offline_until`).
     fn pidx(&self, p: ProcAddr) -> usize {
-        self.proc_base[&p.node] + p.proc as usize
+        self.proc_base[p.node.site.0 as usize][p.node.node as usize] + p.proc as usize
+    }
+
+    /// Flat processor-index base of a node.
+    fn base(&self, addr: NodeAddr) -> usize {
+        self.proc_base[addr.site.0 as usize][addr.node as usize]
     }
 
     /// Tasks resolved so far: every arrived task must end up completed
@@ -315,14 +329,12 @@ impl<S: Scheduler> Driver<'_, S> {
     }
 
     /// Starts every task that can start on `addr` right now, per the
-    /// batch-start and split rules. Returns events to schedule.
-    fn start_ready(&mut self, addr: NodeAddr, now: SimTime) -> Vec<(SimTime, Ev)> {
-        let power = self.platform.spec.power;
+    /// batch-start and split rules. Pushes events to schedule into `out`.
+    fn start_ready(&mut self, addr: NodeAddr, now: SimTime, out: &mut Vec<(SimTime, Ev)>) {
         let split_enabled = self.cfg.split_enabled;
-        let mut out = Vec::new();
+        let base = self.base(addr);
         loop {
-            let node = self.platform.node_mut(addr);
-            let throttle = node.throttle;
+            let node = self.platform.node(addr);
             // First group with unstarted members. Completed groups are
             // removed eagerly, so every group before it is still running.
             let mut target = None;
@@ -337,20 +349,13 @@ impl<S: Scheduler> Driver<'_, S> {
                 let g = node.queue.get(gi).expect("index in range");
                 (g.group.len(), g.unstarted(), g.has_started())
             };
-            let mut idle = node.idle_procs();
-            // Fastest idle processors serve the earliest deadlines.
-            idle.sort_by(|&a, &b| {
-                node.processors[b]
-                    .speed_mips
-                    .partial_cmp(&node.processors[a].speed_mips)
-                    .expect("speeds are finite")
-            });
+            let idle_count = node.idle_count();
             let (to_start, as_split) = if gi == 0 {
                 if g_started {
                     // Unit semantics already broken by an earlier split;
                     // keep it running greedily.
-                    (idle.len().min(g_unstarted), false)
-                } else if idle.len() >= g_len {
+                    (idle_count.min(g_unstarted), false)
+                } else if idle_count >= g_len {
                     (g_len, false)
                 } else {
                     // Blocked at the head with nothing running ahead of it:
@@ -360,14 +365,15 @@ impl<S: Scheduler> Driver<'_, S> {
                         .iter()
                         .filter(|p| matches!(p.state(), crate::processor::ProcState::Waking { .. }))
                         .count();
-                    let deficit = g_len.saturating_sub(idle.len() + waking);
+                    let deficit = g_len.saturating_sub(idle_count + waking);
                     if deficit > 0 {
+                        let num_procs = node.num_processors();
                         let mut woken = 0;
-                        for i in 0..node.processors.len() {
+                        for i in 0..num_procs {
                             if woken == deficit {
                                 break;
                             }
-                            if let Some(until) = node.processors[i].begin_wake(now, &power) {
+                            if let Some(until) = self.platform.begin_wake_proc(addr, i, now) {
                                 out.push((
                                     until,
                                     Ev::WakeDone(
@@ -375,7 +381,7 @@ impl<S: Scheduler> Driver<'_, S> {
                                             node: addr,
                                             proc: i as u32,
                                         },
-                                        self.epochs[self.proc_base[&addr] + i],
+                                        self.epochs[base + i],
                                     ),
                                 ));
                                 woken += 1;
@@ -387,16 +393,39 @@ impl<S: Scheduler> Driver<'_, S> {
             } else if split_enabled {
                 // §IV.D.2: idle processors take EDF tasks from the next
                 // waiting group while the earlier group still runs.
-                (idle.len().min(g_unstarted), true)
+                (idle_count.min(g_unstarted), true)
             } else {
                 (0, false)
             };
             if to_start == 0 {
                 break;
             }
-            for &proc_idx in idle.iter().take(to_start) {
+            for _ in 0..to_start {
+                // Fastest idle processors serve the earliest deadlines.
+                // Select-max with a strict `>` over ascending indices picks
+                // the same processor sequence as the old stable descending
+                // sort (ties resolve to the lowest index), without the
+                // per-call index Vec; each pick leaves Idle, so started
+                // processors drop out of the next scan automatically.
+                let node = self.platform.node(addr);
+                let mut best: Option<usize> = None;
+                for (i, p) in node.processors.iter().enumerate() {
+                    if !p.is_idle() {
+                        continue;
+                    }
+                    match best {
+                        Some(b) if p.speed_mips <= node.processors[b].speed_mips => {}
+                        _ => best = Some(i),
+                    }
+                }
+                let proc_idx = best.expect("idle count guarantees an idle processor");
                 let (task, group_id) = {
-                    let g = node.queue.get_mut(gi).expect("index in range");
+                    let g = self
+                        .platform
+                        .node_mut(addr)
+                        .queue
+                        .get_mut(gi)
+                        .expect("index in range");
                     let task = g.group.tasks[g.next_start];
                     g.next_start += 1;
                     g.running += 1;
@@ -408,13 +437,13 @@ impl<S: Scheduler> Driver<'_, S> {
                     }
                     (task, g.group.id)
                 };
-                let finish = node.processors[proc_idx].start_task(
+                let finish = self.platform.start_task_on(
+                    addr,
+                    proc_idx,
                     now,
                     task.id,
                     group_id,
                     task.size_mi,
-                    throttle,
-                    &power,
                 );
                 out.push((
                     finish,
@@ -423,7 +452,7 @@ impl<S: Scheduler> Driver<'_, S> {
                             node: addr,
                             proc: proc_idx as u32,
                         },
-                        self.epochs[self.proc_base[&addr] + proc_idx],
+                        self.epochs[base + proc_idx],
                     ),
                 ));
                 let p = &mut self.partials[task.id.0 as usize];
@@ -434,14 +463,12 @@ impl<S: Scheduler> Driver<'_, S> {
                 }
             }
         }
-        out
     }
 
-    /// Applies scheduler commands; returns events to schedule.
-    fn apply(&mut self, cmds: Vec<Command>, now: SimTime) -> Vec<(SimTime, Ev)> {
-        let power = self.platform.spec.power;
-        let mut out = Vec::new();
-        let mut touched: Vec<NodeAddr> = Vec::new();
+    /// Applies scheduler commands; pushes events to schedule into `out`.
+    fn apply(&mut self, cmds: Vec<Command>, now: SimTime, out: &mut Vec<(SimTime, Ev)>) {
+        let mut touched = std::mem::take(&mut self.touched_scratch);
+        touched.clear();
         for cmd in cmds {
             match cmd {
                 Command::Dispatch {
@@ -487,9 +514,7 @@ impl<S: Scheduler> Driver<'_, S> {
                     let mut qg = QueuedGroup::new(group, now);
                     qg.assign_error = error;
                     self.platform
-                        .node_mut(addr)
-                        .queue
-                        .push(qg)
+                        .enqueue_group(addr, qg)
                         .expect("availability checked above");
                     self.groups_dispatched += 1;
                     let fb = AssignmentFeedback {
@@ -507,37 +532,34 @@ impl<S: Scheduler> Driver<'_, S> {
                     }
                 }
                 Command::SetThrottle { node, level } => {
-                    self.platform.node_mut(node).set_throttle(level);
+                    self.platform.set_throttle(node, level);
                 }
                 Command::Sleep(p) => {
-                    self.platform.node_mut(p.node).processors[p.proc as usize].sleep(now);
+                    self.platform.sleep_proc(p.node, p.proc as usize, now);
                 }
                 Command::Wake(p) => {
-                    if let Some(until) = self.platform.node_mut(p.node).processors[p.proc as usize]
-                        .begin_wake(now, &power)
+                    if let Some(until) = self.platform.begin_wake_proc(p.node, p.proc as usize, now)
                     {
-                        let epoch = self.epochs[self.proc_base[&p.node] + p.proc as usize];
+                        let epoch = self.epochs[self.pidx(p)];
                         out.push((until, Ev::WakeDone(p, epoch)));
                     }
                 }
             }
         }
-        for addr in touched {
-            out.extend(self.start_ready(addr, now));
+        for &addr in &touched {
+            self.start_ready(addr, now, out);
         }
-        out
+        self.touched_scratch = touched;
     }
 
     /// One dispatch round: ask the scheduler for commands and apply them.
-    fn dispatch_round(&mut self, now: SimTime) -> Vec<(SimTime, Ev)> {
+    fn dispatch_round(&mut self, now: SimTime, out: &mut Vec<(SimTime, Ev)>) {
         let cmds = {
             let view = PlatformView::new(&self.platform, now);
             self.sched.dispatch(now, &view)
         };
-        if cmds.is_empty() {
-            Vec::new()
-        } else {
-            self.apply(cmds, now)
+        if !cmds.is_empty() {
+            self.apply(cmds, now, out);
         }
     }
 
@@ -546,9 +568,7 @@ impl<S: Scheduler> Driver<'_, S> {
     fn complete_group(&mut self, addr: NodeAddr, group_id: GroupId, now: SimTime) {
         let qg = self
             .platform
-            .node_mut(addr)
-            .queue
-            .remove(group_id)
+            .remove_group(addr, group_id)
             .expect("group present");
         self.groups_completed += 1;
         self.cycle += 1;
@@ -573,15 +593,20 @@ impl<S: Scheduler> Driver<'_, S> {
         self.sched.on_group_complete(now, &fb);
     }
 
-    fn handle_task_done(&mut self, proc: ProcAddr, epoch: u32, now: SimTime) -> Vec<(SimTime, Ev)> {
+    fn handle_task_done(
+        &mut self,
+        proc: ProcAddr,
+        epoch: u32,
+        now: SimTime,
+        out: &mut Vec<(SimTime, Ev)>,
+    ) {
         if self.epochs[self.pidx(proc)] != epoch {
             // The processor failed after this completion was scheduled; the
             // running task was preempted and the event is stale.
-            return Vec::new();
+            return;
         }
         let addr = proc.node;
-        let (task_id, group_id) =
-            self.platform.node_mut(addr).processors[proc.proc as usize].finish_task(now);
+        let (task_id, group_id) = self.platform.finish_task_on(addr, proc.proc as usize, now);
         let task = self.tasks[task_id.0 as usize];
         let met = now <= task.deadline;
         {
@@ -609,13 +634,11 @@ impl<S: Scheduler> Driver<'_, S> {
             }
             g.is_complete()
         };
-        let mut out = Vec::new();
         if complete {
             self.complete_group(addr, group_id, now);
         }
-        out.extend(self.start_ready(addr, now));
-        out.extend(self.dispatch_round(now));
-        out
+        self.start_ready(addr, now, out);
+        self.dispatch_round(now, out);
     }
 
     /// Marks a task abandoned: failures exhausted its retry budget, or its
@@ -672,16 +695,16 @@ impl<S: Scheduler> Driver<'_, S> {
     /// Applies planned fault `idx`: fails the target processor(s), preempts
     /// their running tasks, aborts groups a failure has stranded, and
     /// routes every lost task back through the re-dispatch path.
-    fn handle_fault(&mut self, idx: usize, now: SimTime) -> Vec<(SimTime, Ev)> {
+    fn handle_fault(&mut self, idx: usize, now: SimTime, out: &mut Vec<(SimTime, Ev)>) {
         if self.resolved() == self.tasks.len() {
             // Run already settled; let the remaining timeline drain without
             // disturbing post-makespan accounting.
-            return Vec::new();
+            return;
         }
         let fault = self.plan[idx];
         let addr = fault.target.node();
         let permanent = fault.recover_at.is_none();
-        let base = self.proc_base[&addr];
+        let base = self.base(addr);
         let procs: Vec<usize> = match fault.target {
             FaultTarget::Proc(p) => vec![p.proc as usize],
             FaultTarget::Node(_) => (0..self.platform.node(addr).num_processors()).collect(),
@@ -703,7 +726,7 @@ impl<S: Scheduler> Driver<'_, S> {
                 continue;
             }
             self.epochs[flat] = self.epochs[flat].wrapping_add(1);
-            let preempted = self.platform.node_mut(addr).processors[pi].fail(now);
+            let preempted = self.platform.fail_proc(addr, pi, now);
             if let Some((task_id, group_id)) = preempted {
                 self.preemptions += 1;
                 {
@@ -731,20 +754,18 @@ impl<S: Scheduler> Driver<'_, S> {
         // Permanent-death accounting: recount the site's not-permanently-
         // failed processors (idempotent, so overlap handling stays simple).
         if permanent {
-            let alive_total: usize = self
-                .platform
-                .node_addrs()
+            let s = addr.site.0 as usize;
+            let alive_total: usize = self.platform.sites[s]
+                .nodes
                 .iter()
-                .filter(|a| a.site == addr.site)
-                .map(|a| {
-                    let b = self.proc_base[a];
-                    let n = self.platform.node(*a).num_processors();
-                    (0..n)
+                .map(|node| {
+                    let b = self.proc_base[s][node.addr.node as usize];
+                    (0..node.num_processors())
                         .filter(|&pi| !self.offline_until[b + pi].is_infinite())
                         .count()
                 })
                 .sum();
-            self.site_perm_procs[addr.site.0 as usize] = alive_total;
+            self.site_perm_procs[s] = alive_total;
         }
         // Groups this fault completed by member loss: if any member did
         // finish, the reward feedback still flows; a group that lost every
@@ -773,9 +794,8 @@ impl<S: Scheduler> Driver<'_, S> {
         if self.cfg.faults.enabled {
             self.sweep_dead_site_pending(addr.site, now);
         }
-        let mut out = self.start_ready(addr, now);
-        out.extend(self.dispatch_round(now));
-        out
+        self.start_ready(addr, now, out);
+        self.dispatch_round(now, out);
     }
 
     /// Removes a queued group destroyed by a failure. Members not yet
@@ -789,9 +809,7 @@ impl<S: Scheduler> Driver<'_, S> {
     ) {
         let qg = self
             .platform
-            .node_mut(addr)
-            .queue
-            .remove(gid)
+            .remove_group(addr, gid)
             .expect("aborting a queued group");
         for t in &qg.group.tasks {
             let p = &mut self.partials[t.id.0 as usize];
@@ -814,7 +832,7 @@ impl<S: Scheduler> Driver<'_, S> {
     /// population can never finish: a never-started group needs its full
     /// width at once; a started group only needs one processor to drain.
     fn sweep_stranded(&mut self, addr: NodeAddr, now: SimTime, orphans: &mut Vec<TaskId>) {
-        let base = self.proc_base[&addr];
+        let base = self.base(addr);
         let perm_alive = {
             let n = self.platform.node(addr).num_processors();
             (0..n)
@@ -861,13 +879,13 @@ impl<S: Scheduler> Driver<'_, S> {
 
     /// Applies planned recovery `idx`: brings the processor back online
     /// unless a later overlapping outage supersedes this one.
-    fn handle_recover(&mut self, idx: usize, now: SimTime) -> Vec<(SimTime, Ev)> {
+    fn handle_recover(&mut self, idx: usize, now: SimTime, out: &mut Vec<(SimTime, Ev)>) {
         if self.resolved() == self.tasks.len() {
-            return Vec::new();
+            return;
         }
         let fault = self.plan[idx];
         let addr = fault.target.node();
-        let base = self.proc_base[&addr];
+        let base = self.base(addr);
         let procs: Vec<usize> = match fault.target {
             FaultTarget::Proc(p) => vec![p.proc as usize],
             FaultTarget::Node(_) => (0..self.platform.node(addr).num_processors()).collect(),
@@ -879,21 +897,19 @@ impl<S: Scheduler> Driver<'_, S> {
             if self.offline_until[flat] > now.as_f64() + 1e-9 {
                 continue;
             }
-            let node = self.platform.node_mut(addr);
-            if node.processors[pi].is_failed() {
-                node.processors[pi].recover(now);
+            if self.platform.node(addr).processors[pi].is_failed() {
+                self.platform.recover_proc(addr, pi, now);
                 any = true;
             }
         }
         if !any {
-            return Vec::new();
+            return;
         }
         // One planned outage = one recovery, matching `faults_injected`
         // units (a node event counts once, not once per processor).
         self.faults_recovered += 1;
-        let mut out = self.start_ready(addr, now);
-        out.extend(self.dispatch_round(now));
-        out
+        self.start_ready(addr, now, out);
+        self.dispatch_round(now, out);
     }
 }
 
@@ -904,55 +920,54 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
         if now.as_f64() > self.cfg.max_time {
             return false;
         }
-        let scheduled = match event {
+        // One reusable buffer for the whole event — handlers append, the
+        // tail loop schedules, and the (cleared) capacity carries over to
+        // the next event instead of reallocating.
+        let mut out = std::mem::take(&mut self.ev_scratch);
+        out.clear();
+        match event {
             Ev::Arrival(idx) => {
                 let task = self.tasks[idx as usize];
                 if self.cfg.faults.enabled && self.site_perm_procs[task.site.0 as usize] == 0 {
                     // The site permanently lost every processor before this
                     // task arrived: nothing can ever run it.
                     self.give_up(task.id, now);
-                    Vec::new()
                 } else {
                     self.sched.on_arrivals(now, task.site, vec![task]);
-                    self.dispatch_round(now)
+                    self.dispatch_round(now, &mut out);
                 }
             }
-            Ev::TaskDone(proc, epoch) => self.handle_task_done(proc, epoch, now),
+            Ev::TaskDone(proc, epoch) => self.handle_task_done(proc, epoch, now, &mut out),
             Ev::WakeDone(proc, epoch) => {
                 if self.epochs[self.pidx(proc)] != epoch {
                     // The processor failed mid-wake; the transition never
                     // completes.
-                    Vec::new()
                 } else {
-                    self.platform.node_mut(proc.node).processors[proc.proc as usize]
-                        .finish_wake(now);
-                    self.start_ready(proc.node, now)
+                    self.platform
+                        .finish_wake_proc(proc.node, proc.proc as usize, now);
+                    self.start_ready(proc.node, now, &mut out);
                 }
             }
-            Ev::Fault(idx) => self.handle_fault(idx as usize, now),
-            Ev::Recover(idx) => self.handle_recover(idx as usize, now),
+            Ev::Fault(idx) => self.handle_fault(idx as usize, now, &mut out),
+            Ev::Recover(idx) => self.handle_recover(idx as usize, now, &mut out),
             Ev::Tick => {
-                let mut evs = {
-                    let cmds = {
-                        let view = PlatformView::new(&self.platform, now);
-                        self.sched.on_tick(now, &view)
-                    };
-                    if cmds.is_empty() {
-                        Vec::new()
-                    } else {
-                        self.apply(cmds, now)
-                    }
+                let cmds = {
+                    let view = PlatformView::new(&self.platform, now);
+                    self.sched.on_tick(now, &view)
                 };
-                evs.extend(self.dispatch_round(now));
+                if !cmds.is_empty() {
+                    self.apply(cmds, now, &mut out);
+                }
+                self.dispatch_round(now, &mut out);
                 if self.resolved() < self.tasks.len() {
                     handle.schedule_in(SimDuration::new(self.cfg.tick_interval), Ev::Tick);
                 }
-                evs
             }
-        };
-        for (t, ev) in scheduled {
+        }
+        for &(t, ev) in &out {
             handle.schedule_at(t, ev);
         }
+        self.ev_scratch = out;
         true
     }
 }
@@ -1068,15 +1083,17 @@ impl ExecEngine {
         } else {
             FaultPlan::empty()
         };
-        let mut proc_base = HashMap::new();
+        let mut proc_base: Vec<Vec<usize>> = Vec::with_capacity(platform.num_sites());
         let mut flat = 0usize;
         let mut site_perm_procs = vec![0usize; platform.num_sites()];
         for site in &platform.sites {
+            let mut bases = Vec::with_capacity(site.nodes.len());
             for node in &site.nodes {
-                proc_base.insert(node.addr, flat);
+                bases.push(flat);
                 flat += node.num_processors();
                 site_perm_procs[node.addr.site.0 as usize] += node.num_processors();
             }
+            proc_base.push(bases);
         }
         let mut driver = Driver {
             platform,
@@ -1105,6 +1122,8 @@ impl ExecEngine {
             preemptions: 0,
             retries: 0,
             groups_aborted: 0,
+            touched_scratch: Vec::new(),
+            ev_scratch: Vec::new(),
         };
         let mut engine = Engine::new().with_fuse(self.cfg.fuse);
         for (i, t) in driver.tasks.iter().enumerate() {
@@ -1198,6 +1217,7 @@ impl ExecEngine {
             platform_spec: spec,
             records,
             outcome: format!("{outcome:?}"),
+            events_processed: engine.processed(),
         }
     }
 }

@@ -46,5 +46,5 @@ pub use node::ComputeNode;
 pub use power::PowerParams;
 pub use processor::{ProcState, Processor};
 pub use scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler};
-pub use topology::{Platform, PlatformSpec};
+pub use topology::{Platform, PlatformSpec, SiteStats};
 pub use view::{NodeView, PlatformView};

@@ -6,25 +6,63 @@
 //! occupy), so capacity degrades as work queues up — the reading that makes
 //! the Eq. (9) `proc_fitness = pw / PC_c` a live load/capacity signal.
 
+use crate::group::GroupId;
 use crate::ids::NodeAddr;
 use crate::power::PowerParams;
 use crate::processor::Processor;
 use crate::queue::GroupQueue;
 use serde::{Deserialize, Serialize};
 use simcore::time::SimTime;
+use workload::TaskId;
 
 /// A compute node.
+///
+/// # Incremental aggregates
+///
+/// The node caches everything the dispatch hot path reads per decision —
+/// per-processor power draws, their sum, the nominal speed list and its
+/// sum, and idle/asleep/failed counters — and updates the caches at each
+/// state transition instead of rescanning `processors`. Processor state
+/// therefore **must** change through the node's transition methods
+/// ([`ComputeNode::start_task_on`], [`ComputeNode::finish_task_on`],
+/// [`ComputeNode::sleep_proc`], [`ComputeNode::begin_wake_proc`],
+/// [`ComputeNode::finish_wake_proc`], [`ComputeNode::fail_proc`],
+/// [`ComputeNode::recover_proc`]), never by mutating a processor directly.
+/// Every cached read carries a `debug_assert!` against the naive
+/// recomputation, and [`ComputeNode::assert_cache_consistent`] performs
+/// the full cross-check for audit-mode tests.
+///
+/// Bit-identity note: `power_sum` is *recomputed* from the per-processor
+/// cache (in processor order) whenever any entry changes, rather than
+/// adjusted by a float delta — incremental float accumulation would drift
+/// from the naive sum in the last bits and break run determinism.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ComputeNode {
     /// The node's address.
     pub addr: NodeAddr,
-    /// The node's processors (4–6 in the paper's experiments).
+    /// The node's processors (4–6 in the paper's experiments). Public for
+    /// reads; mutate only through the node's transition methods (see the
+    /// type-level docs) or the cached aggregates go stale.
     pub processors: Vec<Processor>,
     /// The bounded group queue.
     pub queue: GroupQueue,
     /// CPU throttle level `θ ∈ (0, 1]` (Online-RL's control knob; 1.0 =
     /// full speed).
     pub throttle: f64,
+    /// Cached nominal speed of each processor (static after construction).
+    speeds: Vec<f64>,
+    /// Cached sum of `speeds` (static after construction).
+    raw_speed_mips: f64,
+    /// Cached instantaneous power draw of each processor.
+    powers: Vec<f64>,
+    /// Cached sum of `powers`, recomputed in processor order on change.
+    power_sum: f64,
+    /// Cached number of idle processors.
+    idle: usize,
+    /// Cached number of sleeping processors.
+    asleep: usize,
+    /// Cached number of failed processors.
+    failed: usize,
 }
 
 impl ComputeNode {
@@ -37,11 +75,25 @@ impl ComputeNode {
             !processors.is_empty(),
             "a node needs at least one processor"
         );
+        let speeds: Vec<f64> = processors.iter().map(|p| p.speed_mips).collect();
+        let raw_speed_mips = speeds.iter().sum();
+        let powers: Vec<f64> = processors.iter().map(|p| p.current_power()).collect();
+        let power_sum = powers.iter().sum();
+        let idle = processors.iter().filter(|p| p.is_idle()).count();
+        let asleep = processors.iter().filter(|p| p.is_asleep()).count();
+        let failed = processors.iter().filter(|p| p.is_failed()).count();
         ComputeNode {
             addr,
             processors,
             queue: GroupQueue::new(queue_capacity),
             throttle: 1.0,
+            speeds,
+            raw_speed_mips,
+            powers,
+            power_sum,
+            idle,
+            asleep,
+            failed,
         }
     }
 
@@ -52,7 +104,12 @@ impl ComputeNode {
 
     /// Sum of nominal processor speeds in MIPS.
     pub fn raw_speed(&self) -> f64 {
-        self.processors.iter().map(|p| p.speed_mips).sum()
+        debug_assert_eq!(
+            self.raw_speed_mips,
+            self.processors.iter().map(|p| p.speed_mips).sum::<f64>(),
+            "raw-speed cache out of sync"
+        );
+        self.raw_speed_mips
     }
 
     /// Eq. (2) processing capacity: raw speed divided by the effective
@@ -73,17 +130,32 @@ impl ComputeNode {
 
     /// Number of idle processors.
     pub fn idle_count(&self) -> usize {
-        self.processors.iter().filter(|p| p.is_idle()).count()
+        debug_assert_eq!(
+            self.idle,
+            self.processors.iter().filter(|p| p.is_idle()).count(),
+            "idle-count cache out of sync"
+        );
+        self.idle
     }
 
     /// Number of sleeping processors.
     pub fn asleep_count(&self) -> usize {
-        self.processors.iter().filter(|p| p.is_asleep()).count()
+        debug_assert_eq!(
+            self.asleep,
+            self.processors.iter().filter(|p| p.is_asleep()).count(),
+            "asleep-count cache out of sync"
+        );
+        self.asleep
     }
 
     /// Number of processors currently down from injected faults.
     pub fn failed_count(&self) -> usize {
-        self.processors.iter().filter(|p| p.is_failed()).count()
+        debug_assert_eq!(
+            self.failed,
+            self.processors.iter().filter(|p| p.is_failed()).count(),
+            "failed-count cache out of sync"
+        );
+        self.failed
     }
 
     /// Processors not currently failed — the node's usable capacity under
@@ -97,9 +169,161 @@ impl ComputeNode {
         self.available_processors() as f64 / self.processors.len() as f64
     }
 
-    /// Sets the throttle level, clamped to `[0.1, 1.0]`.
+    /// Sets the throttle level, clamped to `[0.1, 1.0]`. No cache update:
+    /// busy power is snapshotted at task start, so a throttle change never
+    /// alters any processor's current draw.
     pub fn set_throttle(&mut self, level: f64) {
         self.throttle = level.clamp(0.1, 1.0);
+    }
+
+    /// Refreshes the power cache for processor `i` after a transition.
+    fn refresh_power(&mut self, i: usize) {
+        self.powers[i] = self.processors[i].current_power();
+        // Full re-sum in processor order — identical bits to the naive
+        // `proc_powers().iter().sum()` the observation layer used to do.
+        self.power_sum = self.powers.iter().sum();
+    }
+
+    /// Starts a task on idle processor `i`; returns the completion instant.
+    /// Uses the node's current throttle.
+    ///
+    /// # Panics
+    /// Panics if processor `i` is not idle.
+    pub fn start_task_on(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        task: TaskId,
+        group: GroupId,
+        size_mi: f64,
+        params: &PowerParams,
+    ) -> SimTime {
+        let throttle = self.throttle;
+        let finish = self.processors[i].start_task(now, task, group, size_mi, throttle, params);
+        self.idle -= 1;
+        self.refresh_power(i);
+        finish
+    }
+
+    /// Completes the task running on processor `i`, returning
+    /// `(task, group)`.
+    ///
+    /// # Panics
+    /// Panics if processor `i` is not busy.
+    pub fn finish_task_on(&mut self, i: usize, now: SimTime) -> (TaskId, GroupId) {
+        let r = self.processors[i].finish_task(now);
+        self.idle += 1;
+        self.refresh_power(i);
+        r
+    }
+
+    /// Puts idle processor `i` to sleep. Returns `false` (no-op) if it is
+    /// not idle.
+    pub fn sleep_proc(&mut self, i: usize, now: SimTime) -> bool {
+        let slept = self.processors[i].sleep(now);
+        if slept {
+            self.idle -= 1;
+            self.asleep += 1;
+            self.refresh_power(i);
+        }
+        slept
+    }
+
+    /// Begins waking sleeping processor `i`; returns the instant it becomes
+    /// usable, or `None` if it was not asleep.
+    pub fn begin_wake_proc(
+        &mut self,
+        i: usize,
+        now: SimTime,
+        params: &PowerParams,
+    ) -> Option<SimTime> {
+        let until = self.processors[i].begin_wake(now, params);
+        if until.is_some() {
+            self.asleep -= 1;
+            self.refresh_power(i);
+        }
+        until
+    }
+
+    /// Completes the wake transition of processor `i`.
+    ///
+    /// # Panics
+    /// Panics if processor `i` is not waking.
+    pub fn finish_wake_proc(&mut self, i: usize, now: SimTime) {
+        self.processors[i].finish_wake(now);
+        self.idle += 1;
+        self.refresh_power(i);
+    }
+
+    /// Crashes processor `i`. If it was executing, returns the preempted
+    /// `(task, group)`. No-op (returning `None`) if already failed.
+    pub fn fail_proc(&mut self, i: usize, now: SimTime) -> Option<(TaskId, GroupId)> {
+        if self.processors[i].is_failed() {
+            return None;
+        }
+        let was_idle = self.processors[i].is_idle();
+        let was_asleep = self.processors[i].is_asleep();
+        let preempted = self.processors[i].fail(now);
+        if was_idle {
+            self.idle -= 1;
+        } else if was_asleep {
+            self.asleep -= 1;
+        }
+        self.failed += 1;
+        self.refresh_power(i);
+        preempted
+    }
+
+    /// Brings failed processor `i` back online (idle).
+    ///
+    /// # Panics
+    /// Panics if processor `i` is not failed.
+    pub fn recover_proc(&mut self, i: usize, now: SimTime) {
+        self.processors[i].recover(now);
+        self.failed -= 1;
+        self.idle += 1;
+        self.refresh_power(i);
+    }
+
+    /// Full audit-mode cross-check: every cached aggregate must equal its
+    /// naive recomputation, bitwise for the float caches.
+    ///
+    /// # Panics
+    /// Panics on any cache that drifted from ground truth.
+    pub fn assert_cache_consistent(&self) {
+        assert_eq!(
+            self.idle,
+            self.processors.iter().filter(|p| p.is_idle()).count(),
+            "idle-count cache out of sync"
+        );
+        assert_eq!(
+            self.asleep,
+            self.processors.iter().filter(|p| p.is_asleep()).count(),
+            "asleep-count cache out of sync"
+        );
+        assert_eq!(
+            self.failed,
+            self.processors.iter().filter(|p| p.is_failed()).count(),
+            "failed-count cache out of sync"
+        );
+        let naive_powers: Vec<f64> = self.processors.iter().map(|p| p.current_power()).collect();
+        assert_eq!(
+            self.powers, naive_powers,
+            "per-proc power cache out of sync"
+        );
+        assert_eq!(
+            self.power_sum,
+            naive_powers.iter().sum::<f64>(),
+            "power-sum cache out of sync"
+        );
+        let naive_speeds: Vec<f64> = self.processors.iter().map(|p| p.speed_mips).collect();
+        assert_eq!(self.speeds, naive_speeds, "speed cache out of sync");
+        assert_eq!(
+            self.raw_speed_mips,
+            naive_speeds.iter().sum::<f64>(),
+            "raw-speed cache out of sync"
+        );
+        self.queue.assert_cache_consistent();
     }
 
     /// Node energy per Eq. (6): the *mean* per-processor energy
@@ -121,9 +345,34 @@ impl ComputeNode {
     }
 
     /// Instantaneous per-processor power draws — the `{PP_1…m}` component
-    /// of the state vector `S_c(t)`.
-    pub fn proc_powers(&self) -> Vec<f64> {
-        self.processors.iter().map(|p| p.current_power()).collect()
+    /// of the state vector `S_c(t)`. Served from the transition-maintained
+    /// cache, so no per-call allocation or processor scan.
+    pub fn proc_powers(&self) -> &[f64] {
+        debug_assert!(
+            self.powers
+                .iter()
+                .zip(&self.processors)
+                .all(|(&w, p)| w == p.current_power()),
+            "per-proc power cache out of sync"
+        );
+        &self.powers
+    }
+
+    /// Sum of the per-processor power draws, maintained at transitions
+    /// (recomputed from the cache in processor order, so bit-identical to
+    /// summing [`ComputeNode::proc_powers`] naively).
+    pub fn power_sum(&self) -> f64 {
+        debug_assert_eq!(
+            self.power_sum,
+            self.powers.iter().sum::<f64>(),
+            "power-sum cache out of sync"
+        );
+        self.power_sum
+    }
+
+    /// Nominal speed of each processor (MIPS), cached at construction.
+    pub fn proc_speeds(&self) -> &[f64] {
+        &self.speeds
     }
 
     /// Effective speed (MIPS) of processor `i` under the current throttle.

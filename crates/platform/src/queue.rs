@@ -83,10 +83,18 @@ impl QueuedGroup {
 pub struct QueueFull;
 
 /// Bounded FIFO of task groups.
+///
+/// The total processing weight (`Load` in the paper's state vector) is
+/// cached and refreshed on push/remove rather than summed per read. The
+/// refresh re-sums the queued `pw` values front to back — identical bits
+/// to the naive sum, unlike incremental float add/subtract which would
+/// drift after mid-queue removals. This relies on `QueuedGroup::pw` being
+/// immutable once enqueued (it is set at dispatch and never rewritten).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GroupQueue {
     capacity: usize,
     slots: VecDeque<QueuedGroup>,
+    load: f64,
 }
 
 impl GroupQueue {
@@ -99,7 +107,13 @@ impl GroupQueue {
         GroupQueue {
             capacity,
             slots: VecDeque::with_capacity(capacity),
+            load: 0.0,
         }
+    }
+
+    /// Re-sums the cached total load front to back.
+    fn refresh_load(&mut self) {
+        self.load = self.slots.iter().map(|g| g.pw).sum();
     }
 
     /// Slot capacity.
@@ -128,6 +142,7 @@ impl GroupQueue {
             return Err(QueueFull);
         }
         self.slots.push_back(qg);
+        self.refresh_load();
         Ok(())
     }
 
@@ -155,13 +170,33 @@ impl GroupQueue {
     /// with the split process a non-head group can complete first).
     pub fn remove(&mut self, id: GroupId) -> Option<QueuedGroup> {
         let idx = self.slots.iter().position(|g| g.group.id == id)?;
-        self.slots.remove(idx)
+        let removed = self.slots.remove(idx);
+        self.refresh_load();
+        removed
     }
 
     /// Total processing weight of queued groups — the `Load` component of
-    /// the state vector `S_c(t)`.
+    /// the state vector `S_c(t)`. Served from the push/remove-maintained
+    /// cache.
     pub fn total_load(&self) -> f64 {
-        self.slots.iter().map(|g| g.pw).sum()
+        debug_assert_eq!(
+            self.load,
+            self.slots.iter().map(|g| g.pw).sum::<f64>(),
+            "queue-load cache out of sync"
+        );
+        self.load
+    }
+
+    /// Audit-mode cross-check of the cached load against the naive sum.
+    ///
+    /// # Panics
+    /// Panics if the cache drifted.
+    pub fn assert_cache_consistent(&self) {
+        assert_eq!(
+            self.load,
+            self.slots.iter().map(|g| g.pw).sum::<f64>(),
+            "queue-load cache out of sync"
+        );
     }
 
     /// Iterates the queued groups front to back.

@@ -106,13 +106,53 @@ pub struct Site {
     pub nodes: Vec<ComputeNode>,
 }
 
+/// Per-site aggregates, maintained incrementally by the platform's
+/// transition wrappers (task start/finish, sleep/wake, fault/repair,
+/// queue push/remove) so site-level scheduling predicates are O(1)
+/// instead of an every-decision node scan.
+///
+/// All fields are integer counters — exact under incremental update, no
+/// float-drift concerns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteStats {
+    /// Processor population of the site (static).
+    pub procs: usize,
+    /// Idle processors across the site.
+    pub idle: usize,
+    /// Sleeping processors across the site.
+    pub asleep: usize,
+    /// Failed processors across the site.
+    pub failed: usize,
+    /// Queued groups across the site's node queues.
+    pub queued_groups: usize,
+    /// Nodes with at least one idle processor and an empty queue — the
+    /// "site has a free node" predicate schedulers test per dispatch.
+    pub free_nodes: usize,
+}
+
+/// The free-node predicate backing [`SiteStats::free_nodes`].
+fn node_is_free(node: &ComputeNode) -> bool {
+    node.idle_count() > 0 && node.queue.is_empty()
+}
+
 /// A generated platform.
+///
+/// Processor and queue state must change through the platform's
+/// transition wrappers ([`Platform::start_task_on`],
+/// [`Platform::finish_task_on`], [`Platform::sleep_proc`],
+/// [`Platform::begin_wake_proc`], [`Platform::finish_wake_proc`],
+/// [`Platform::fail_proc`], [`Platform::recover_proc`],
+/// [`Platform::enqueue_group`], [`Platform::remove_group`]) so the cached
+/// [`SiteStats`] stay true; see [`Platform::assert_stats_consistent`] for
+/// the audit-mode cross-check.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Platform {
     /// The spec this platform was generated from.
     pub spec: PlatformSpec,
     /// The resource sites.
     pub sites: Vec<Site>,
+    /// Incrementally maintained per-site aggregates.
+    stats: Vec<SiteStats>,
 }
 
 impl Platform {
@@ -160,7 +200,198 @@ impl Platform {
                 nodes,
             });
         }
-        Platform { spec, sites }
+        let mut p = Platform {
+            spec,
+            sites,
+            stats: Vec::new(),
+        };
+        p.recompute_stats();
+        p
+    }
+
+    /// Rebuilds every [`SiteStats`] from scratch (construction and audit).
+    fn recompute_stats(&mut self) {
+        self.stats = self.sites.iter().map(Self::naive_site_stats).collect();
+    }
+
+    /// Ground-truth site aggregates by full scan.
+    fn naive_site_stats(site: &Site) -> SiteStats {
+        let mut st = SiteStats::default();
+        for n in &site.nodes {
+            st.procs += n.num_processors();
+            st.idle += n.idle_count();
+            st.asleep += n.asleep_count();
+            st.failed += n.failed_count();
+            st.queued_groups += n.queue.len();
+            if node_is_free(n) {
+                st.free_nodes += 1;
+            }
+        }
+        st
+    }
+
+    /// Cached aggregates of one site.
+    pub fn site_stats(&self, site: SiteId) -> SiteStats {
+        debug_assert_eq!(
+            self.stats[site.0 as usize],
+            Self::naive_site_stats(&self.sites[site.0 as usize]),
+            "site-stats cache out of sync"
+        );
+        self.stats[site.0 as usize]
+    }
+
+    /// Audit-mode cross-check: every site's cached aggregates (and every
+    /// node's cached aggregates beneath them) must equal naive
+    /// recomputation.
+    ///
+    /// # Panics
+    /// Panics on any cache that drifted from ground truth.
+    pub fn assert_stats_consistent(&self) {
+        for (s, site) in self.sites.iter().enumerate() {
+            assert_eq!(
+                self.stats[s],
+                Self::naive_site_stats(site),
+                "site {s} stats cache out of sync"
+            );
+            for n in &site.nodes {
+                n.assert_cache_consistent();
+            }
+        }
+    }
+
+    /// Runs a node mutation, updating the owning site's cached stats from
+    /// the node's before/after aggregates (all O(1) reads of node caches).
+    fn with_node<R>(&mut self, addr: NodeAddr, f: impl FnOnce(&mut ComputeNode) -> R) -> R {
+        let s = addr.site.0 as usize;
+        let node = &mut self.sites[s].nodes[addr.node as usize];
+        let before = (
+            node.idle_count(),
+            node.asleep_count(),
+            node.failed_count(),
+            node.queue.len(),
+            node_is_free(node),
+        );
+        let r = f(node);
+        let after = (
+            node.idle_count(),
+            node.asleep_count(),
+            node.failed_count(),
+            node.queue.len(),
+            node_is_free(node),
+        );
+        let st = &mut self.stats[s];
+        st.idle = st.idle + after.0 - before.0;
+        st.asleep = st.asleep + after.1 - before.1;
+        st.failed = st.failed + after.2 - before.2;
+        st.queued_groups = st.queued_groups + after.3 - before.3;
+        st.free_nodes = st.free_nodes + usize::from(after.4) - usize::from(before.4);
+        r
+    }
+
+    /// Starts a task on a node's idle processor (at the node's current
+    /// throttle); returns the completion instant.
+    ///
+    /// # Panics
+    /// Panics if the processor is not idle.
+    pub fn start_task_on(
+        &mut self,
+        addr: NodeAddr,
+        proc: usize,
+        now: SimTime,
+        task: workload::TaskId,
+        group: crate::group::GroupId,
+        size_mi: f64,
+    ) -> SimTime {
+        let params = self.spec.power;
+        self.with_node(addr, |n| {
+            n.start_task_on(proc, now, task, group, size_mi, &params)
+        })
+    }
+
+    /// Completes the task running on a node's processor.
+    ///
+    /// # Panics
+    /// Panics if the processor is not busy.
+    pub fn finish_task_on(
+        &mut self,
+        addr: NodeAddr,
+        proc: usize,
+        now: SimTime,
+    ) -> (workload::TaskId, crate::group::GroupId) {
+        self.with_node(addr, |n| n.finish_task_on(proc, now))
+    }
+
+    /// Puts a node's idle processor to sleep; `false` if not idle.
+    pub fn sleep_proc(&mut self, addr: NodeAddr, proc: usize, now: SimTime) -> bool {
+        self.with_node(addr, |n| n.sleep_proc(proc, now))
+    }
+
+    /// Begins waking a node's sleeping processor; returns the usable-at
+    /// instant, or `None` if it was not asleep.
+    pub fn begin_wake_proc(
+        &mut self,
+        addr: NodeAddr,
+        proc: usize,
+        now: SimTime,
+    ) -> Option<SimTime> {
+        let params = self.spec.power;
+        self.with_node(addr, |n| n.begin_wake_proc(proc, now, &params))
+    }
+
+    /// Completes a node processor's wake transition.
+    ///
+    /// # Panics
+    /// Panics if the processor is not waking.
+    pub fn finish_wake_proc(&mut self, addr: NodeAddr, proc: usize, now: SimTime) {
+        self.with_node(addr, |n| n.finish_wake_proc(proc, now));
+    }
+
+    /// Crashes a node's processor; returns the preempted `(task, group)`
+    /// if it was executing. No-op if already failed.
+    pub fn fail_proc(
+        &mut self,
+        addr: NodeAddr,
+        proc: usize,
+        now: SimTime,
+    ) -> Option<(workload::TaskId, crate::group::GroupId)> {
+        self.with_node(addr, |n| n.fail_proc(proc, now))
+    }
+
+    /// Brings a node's failed processor back online.
+    ///
+    /// # Panics
+    /// Panics if the processor is not failed.
+    pub fn recover_proc(&mut self, addr: NodeAddr, proc: usize, now: SimTime) {
+        self.with_node(addr, |n| n.recover_proc(proc, now));
+    }
+
+    /// Enqueues a group at a node, or reports the queue full.
+    ///
+    /// # Errors
+    /// Returns [`crate::queue::QueueFull`] when the node queue has no free
+    /// slot.
+    pub fn enqueue_group(
+        &mut self,
+        addr: NodeAddr,
+        qg: crate::queue::QueuedGroup,
+    ) -> Result<(), crate::queue::QueueFull> {
+        self.with_node(addr, |n| n.queue.push(qg))
+    }
+
+    /// Removes a queued group from a node by id.
+    pub fn remove_group(
+        &mut self,
+        addr: NodeAddr,
+        id: crate::group::GroupId,
+    ) -> Option<crate::queue::QueuedGroup> {
+        self.with_node(addr, |n| n.queue.remove(id))
+    }
+
+    /// Sets a node's throttle level (clamped to `[0.1, 1.0]`).
+    pub fn set_throttle(&mut self, addr: NodeAddr, level: f64) {
+        // Throttle does not feed any cached aggregate, but routing through
+        // the wrapper keeps a single mutation discipline.
+        self.with_node(addr, |n| n.set_throttle(level));
     }
 
     /// Number of sites.
@@ -218,12 +449,12 @@ impl Platform {
         &mut self.sites[addr.site.0 as usize].nodes[addr.node as usize]
     }
 
-    /// All node addresses, site-major.
-    pub fn node_addrs(&self) -> Vec<NodeAddr> {
+    /// All node addresses, site-major. Allocation-free: callers that need
+    /// a materialised list can `collect()`.
+    pub fn node_addrs(&self) -> impl Iterator<Item = NodeAddr> + '_ {
         self.sites
             .iter()
             .flat_map(|s| s.nodes.iter().map(|n| n.addr))
-            .collect()
     }
 
     /// System-wide energy `ECS = Σ_c E_c` at `now` (Eq. 6 summed over all
@@ -238,16 +469,21 @@ impl Platform {
 
     /// Mean processor utilisation over the whole platform at `now`.
     pub fn mean_utilisation_at(&self, now: SimTime) -> f64 {
-        let procs: Vec<f64> = self
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for p in self
             .sites
             .iter()
             .flat_map(|s| &s.nodes)
-            .flat_map(|n| n.processors.iter().map(|p| p.utilisation_at(now)))
-            .collect();
-        if procs.is_empty() {
+            .flat_map(|n| n.processors.iter())
+        {
+            sum += p.utilisation_at(now);
+            count += 1;
+        }
+        if count == 0 {
             0.0
         } else {
-            procs.iter().sum::<f64>() / procs.len() as f64
+            sum / count as f64
         }
     }
 }

@@ -58,9 +58,22 @@ impl<'a> PlatformView<'a> {
         }
     }
 
-    /// All node addresses, site-major.
-    pub fn node_addrs(&self) -> Vec<NodeAddr> {
+    /// All node addresses, site-major. Allocation-free.
+    pub fn node_addrs(&self) -> impl Iterator<Item = NodeAddr> + 'a {
         self.platform.node_addrs()
+    }
+
+    /// Cached per-site aggregates (idle/asleep/failed processors, queued
+    /// groups, free nodes) — O(1) instead of a node scan.
+    pub fn site_stats(&self, site: SiteId) -> crate::topology::SiteStats {
+        self.platform.site_stats(site)
+    }
+
+    /// Whether the site has a node with an idle processor and an empty
+    /// queue — the common "can I start something immediately" predicate,
+    /// answered from the cached site aggregates.
+    pub fn site_has_free_node(&self, site: SiteId) -> bool {
+        self.platform.site_stats(site).free_nodes > 0
     }
 
     /// The reference (slowest) speed used for `ACT`.
@@ -86,7 +99,7 @@ pub struct NodeView<'a> {
     now: SimTime,
 }
 
-impl NodeView<'_> {
+impl<'a> NodeView<'a> {
     /// Node address.
     pub fn addr(&self) -> NodeAddr {
         self.node.addr
@@ -107,9 +120,16 @@ impl NodeView<'_> {
         self.node.queue.len()
     }
 
-    /// `{PP_1…m}`: instantaneous per-processor power draws.
-    pub fn proc_powers(&self) -> Vec<f64> {
+    /// `{PP_1…m}`: instantaneous per-processor power draws. A borrow of
+    /// the node's transition-maintained cache — no per-call allocation.
+    pub fn proc_powers(&self) -> &'a [f64] {
         self.node.proc_powers()
+    }
+
+    /// Sum of the per-processor power draws (cached; bit-identical to
+    /// summing [`NodeView::proc_powers`] in order).
+    pub fn power_sum(&self) -> f64 {
+        self.node.power_sum()
     }
 
     /// Eq. (2) processing capacity.
@@ -163,9 +183,10 @@ impl NodeView<'_> {
         self.node.energy_at(self.now)
     }
 
-    /// Nominal speed of each processor (MIPS).
-    pub fn proc_speeds(&self) -> Vec<f64> {
-        self.node.processors.iter().map(|p| p.speed_mips).collect()
+    /// Nominal speed of each processor (MIPS). A borrow of the node's
+    /// construction-time cache — no per-call allocation.
+    pub fn proc_speeds(&self) -> &'a [f64] {
+        self.node.proc_speeds()
     }
 
     /// Whether processor `i` is asleep.
@@ -195,7 +216,7 @@ mod tests {
         let p = Platform::generate(PlatformSpec::small(2, 3, 4), &RngStream::root(1));
         let v = PlatformView::new(&p, SimTime::new(5.0));
         assert_eq!(v.num_sites(), 2);
-        assert_eq!(v.node_addrs().len(), 6);
+        assert_eq!(v.node_addrs().count(), 6);
         let nv = v.node(NodeAddr::new(0, 0));
         assert_eq!(nv.load(), 0.0);
         assert_eq!(nv.queue_available(), 8);

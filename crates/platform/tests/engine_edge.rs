@@ -76,7 +76,7 @@ fn throttle_snapshot_applies_to_new_tasks_only() {
     // Throttle the single node to 0.5 before any dispatch: every execution
     // must take size / (speed · 0.5).
     let (platform, tasks) = setup(1, 20, 5.0);
-    let addr = platform.node_addrs()[0];
+    let addr = platform.node_addrs().next().unwrap();
     let speeds: Vec<f64> = platform
         .node(addr)
         .processors
@@ -107,7 +107,7 @@ fn sleeping_processors_are_woken_on_demand() {
     // Sleep every processor up front; the engine must wake them (paying
     // wake latency) and still complete all work.
     let (platform, tasks) = setup(2, 15, 5.0);
-    let addr = platform.node_addrs()[0];
+    let addr = platform.node_addrs().next().unwrap();
     let sleeps: Vec<Command> = (0..4)
         .map(|p| {
             Command::Sleep(ProcAddr {
@@ -152,7 +152,7 @@ fn oversized_and_overflow_dispatches_bounce() {
             if !self.fired && self.inner.pending.len() >= 6 {
                 self.fired = true;
                 // 6 tasks on a 4-processor node: must bounce.
-                let addr = view.node_addrs()[0];
+                let addr = view.node_addrs().next().unwrap();
                 let tasks: Vec<Task> = self.inner.pending.drain(..6).collect();
                 return vec![Command::Dispatch {
                     node: addr,
@@ -220,7 +220,7 @@ fn wake_inrush_energy_is_charged() {
         ExecEngine::new(ExecConfig::default()).run(platform2, wl.tasks, &mut sched)
     };
     let slept = {
-        let addr = platform.node_addrs()[0];
+        let addr = platform.node_addrs().next().unwrap();
         let sleeps: Vec<Command> = (0..4)
             .map(|p| {
                 Command::Sleep(ProcAddr {
@@ -279,7 +279,7 @@ fn split_pulls_edf_tasks_from_the_next_waiting_group() {
             while self.pending.len() >= 4 && self.sent < 2 {
                 let group: Vec<Task> = self.pending.drain(..4).collect();
                 cmds.push(Command::Dispatch {
-                    node: view.node_addrs()[0],
+                    node: view.node_addrs().next().unwrap(),
                     tasks: group,
                     policy: GroupPolicy::Mixed,
                 });
