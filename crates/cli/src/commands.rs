@@ -6,6 +6,9 @@ use crate::select::scheduler_from;
 use experiments::{runner, Scenario, SchedulerKind};
 use metrics::RunSummary;
 use platform::{ExecEngine, PlatformSpec, RunResult};
+use std::sync::Arc;
+use std::time::Duration;
+use telemetry::{ChromeTraceSink, JsonlSink, Recorder, StderrProgress, TraceLevel};
 use workload::{load_trace, save_trace, Task, WorkloadProfile};
 
 /// Errors a command can produce.
@@ -124,6 +127,48 @@ fn apply_fault_flags(args: &Args, sc: &mut Scenario) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// Builds the recorder requested by the `--trace*` / `--progress`
+/// family, or `None` when telemetry is off. `--trace-format` and
+/// `--trace-level` without `--trace` are accepted but inert, mirroring
+/// how the fault flags compose; `--progress` alone attaches the bare
+/// stderr ticker without a trace sink.
+fn recorder_from(args: &Args) -> Result<Option<runner::SharedRecorder>, CmdError> {
+    let level = match args.get("trace-level") {
+        None => TraceLevel::Decisions,
+        Some(raw) => TraceLevel::parse(raw).ok_or_else(|| {
+            CmdError::Args(ArgError::UnknownChoice {
+                flag: "trace-level".into(),
+                value: raw.into(),
+                choices: "cycles, decisions, all",
+            })
+        })?,
+    };
+    let sink: Option<Arc<dyn Recorder>> = match args.get("trace") {
+        None => None,
+        Some("") => return Err(CmdError::Other("--trace needs a file path".into())),
+        Some(path) => match args.get("trace-format").unwrap_or("jsonl") {
+            "jsonl" => Some(Arc::new(JsonlSink::create(path, level)?)),
+            "chrome" => Some(Arc::new(ChromeTraceSink::create(path, level)?)),
+            other => {
+                return Err(CmdError::Args(ArgError::UnknownChoice {
+                    flag: "trace-format".into(),
+                    value: other.into(),
+                    choices: "jsonl, chrome",
+                }))
+            }
+        },
+    };
+    Ok(match (sink, args.has("progress")) {
+        (Some(inner), true) => Some(Arc::new(StderrProgress::wrap(
+            inner,
+            Duration::from_millis(500),
+        ))),
+        (Some(inner), false) => Some(inner),
+        (None, true) => Some(Arc::new(StderrProgress::bare())),
+        (None, false) => None,
+    })
+}
+
 fn summary_block(r: &RunResult) -> String {
     let s = RunSummary::from_run(r);
     let mut out = String::new();
@@ -147,6 +192,23 @@ fn summary_block(r: &RunResult) -> String {
             r.incomplete
         ));
     }
+    if let Some(t) = &r.telemetry {
+        if !t.counters.is_empty() {
+            out.push_str("telemetry counters:\n");
+            for c in &t.counters {
+                out.push_str(&format!("  {:<20} {}\n", c.name, c.total));
+            }
+        }
+        if !t.histograms.is_empty() {
+            out.push_str("telemetry histograms (n, p50/p95/p99/max):\n");
+            for h in &t.histograms {
+                out.push_str(&format!(
+                    "  {:<20} n={:<6} {:.4}/{:.4}/{:.4}/{:.4}\n",
+                    h.name, h.count, h.p50, h.p95, h.p99, h.max
+                ));
+            }
+        }
+    }
     out
 }
 
@@ -154,7 +216,14 @@ fn summary_block(r: &RunResult) -> String {
 pub fn simulate(args: &Args) -> Result<String, CmdError> {
     let sc = scenario_from(args)?;
     let kind = scheduler_from(args)?;
-    let r = runner::run_scenario(&sc, &kind);
+    let rec = recorder_from(args)?;
+    let r = match &rec {
+        Some(rec) => runner::run_scenario_traced(&sc, &kind, rec),
+        None => runner::run_scenario(&sc, &kind),
+    };
+    if let Some(rec) = &rec {
+        rec.finish();
+    }
     let mut out = String::new();
     let platform = sc.build_platform();
     out.push_str(&format!(
@@ -242,7 +311,11 @@ pub fn trace(args: &Args) -> Result<String, CmdError> {
             sc.platform.num_sites = sc.platform.num_sites.max(max_site + 1);
             let platform = sc.build_platform();
             let engine = ExecEngine::new(sc.exec);
-            let r = run_trace(&engine, platform, tasks, &kind);
+            let rec = recorder_from(args)?;
+            let r = run_trace(&engine, platform, tasks, &kind, rec.as_ref());
+            if let Some(rec) = &rec {
+                rec.finish();
+            }
             Ok(summary_block(&r))
         }
         _ => Err(CmdError::Other(
@@ -256,34 +329,50 @@ fn run_trace(
     platform: platform::Platform,
     tasks: Vec<Task>,
     kind: &SchedulerKind,
+    rec: Option<&runner::SharedRecorder>,
 ) -> RunResult {
     use adaptive_rl::AdaptiveRl;
     use baselines::{GreedyEdf, OnlineRl, PredictionBased, QPlusLearning, RoundRobin};
+    fn drive<S: platform::Scheduler>(
+        engine: &ExecEngine,
+        platform: platform::Platform,
+        tasks: Vec<Task>,
+        sched: &mut S,
+        rec: Option<&runner::SharedRecorder>,
+    ) -> RunResult {
+        match rec {
+            Some(r) => engine.run_traced(platform, tasks, sched, &**r),
+            None => engine.run(platform, tasks, sched),
+        }
+    }
     let sites = platform.num_sites();
     match kind.clone() {
         SchedulerKind::Adaptive(cfg) => {
             let mut s = AdaptiveRl::new(sites, cfg);
-            engine.run(platform, tasks, &mut s)
+            if let Some(r) = rec {
+                s = s.with_recorder(r.clone());
+            }
+            drive(engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::Online(cfg) => {
             let mut s = OnlineRl::new(sites, cfg);
-            engine.run(platform, tasks, &mut s)
+            drive(engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::QPlus(cfg) => {
             let mut s = QPlusLearning::new(sites, cfg);
-            engine.run(platform, tasks, &mut s)
+            drive(engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::Prediction(cfg) => {
             let mut s = PredictionBased::new(sites, cfg);
-            engine.run(platform, tasks, &mut s)
+            drive(engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::RoundRobin => {
             let mut s = RoundRobin::new(sites);
-            engine.run(platform, tasks, &mut s)
+            drive(engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::GreedyEdf => {
             let mut s = GreedyEdf::new(sites);
-            engine.run(platform, tasks, &mut s)
+            drive(engine, platform, tasks, &mut s, rec)
         }
     }
 }
@@ -503,5 +592,135 @@ mod tests {
         assert!(trace(&parse(&["trace", "show", "/definitely/not/here.bin"])).is_err());
         assert!(simulate(&parse(&["simulate", "--scheduler", "alien"])).is_err());
         assert!(simulate(&parse(&["simulate", "--sites", "0"])).is_err());
+    }
+
+    fn temp_trace(name: &str) -> (std::path::PathBuf, String) {
+        let path =
+            std::env::temp_dir().join(format!("arls_cli_{name}_{}.json", std::process::id()));
+        let s = path.to_str().unwrap().to_string();
+        (path, s)
+    }
+
+    #[test]
+    fn simulate_writes_a_chrome_trace_and_prints_telemetry() {
+        let (path, path_str) = temp_trace("chrome");
+        let out = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "80",
+            "--offered",
+            "0.6",
+            "--seed",
+            "3",
+            "--trace",
+            &path_str,
+            "--trace-format",
+            "chrome",
+        ]))
+        .expect("traced simulate");
+        assert!(
+            out.contains("telemetry counters:"),
+            "missing telemetry in {out}"
+        );
+        assert!(out.contains("groups.dispatched"));
+        assert!(out.contains("decision_latency_us"));
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        let v = telemetry::json::parse(&text).expect("chrome trace must be valid JSON");
+        assert!(!v.as_array().expect("array").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_defaults_to_jsonl_traces() {
+        let (path, path_str) = temp_trace("jsonl");
+        simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "60",
+            "--offered",
+            "0.6",
+            "--seed",
+            "3",
+            "--trace",
+            &path_str,
+        ]))
+        .expect("traced simulate");
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            telemetry::json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_run_summary() {
+        let line = [
+            "simulate",
+            "--tasks",
+            "70",
+            "--offered",
+            "0.6",
+            "--seed",
+            "8",
+        ];
+        let plain = simulate(&parse(&line)).expect("plain");
+        let (path, path_str) = temp_trace("inert");
+        let mut traced_line: Vec<&str> = line.to_vec();
+        traced_line.extend(["--trace", &path_str, "--trace-level", "all"]);
+        let traced = simulate(&parse(&traced_line)).expect("traced");
+        std::fs::remove_file(&path).ok();
+        // The traced output is the plain output plus telemetry sections.
+        assert!(traced.starts_with(&plain), "tracing perturbed the summary");
+        assert!(traced.contains("telemetry counters:"));
+    }
+
+    #[test]
+    fn bad_trace_flags_are_rejected() {
+        let (_path, path_str) = temp_trace("bad");
+        assert!(simulate(&parse(&[
+            "simulate",
+            "--trace",
+            &path_str,
+            "--trace-format",
+            "xml"
+        ]))
+        .is_err());
+        assert!(simulate(&parse(&[
+            "simulate",
+            "--trace",
+            &path_str,
+            "--trace-level",
+            "verbose"
+        ]))
+        .is_err());
+        assert!(simulate(&parse(&["simulate", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn trace_run_accepts_a_recorder() {
+        let dir = std::env::temp_dir();
+        let bin = dir.join(format!("arls_cli_rerun_{}.bin", std::process::id()));
+        let bin_str = bin.to_str().unwrap().to_string();
+        trace(&parse(&[
+            "trace", "generate", "--tasks", "50", "--seed", "9", "--out", &bin_str,
+        ]))
+        .expect("generate");
+        let (path, path_str) = temp_trace("rerun");
+        let out = trace(&parse(&[
+            "trace",
+            "run",
+            &bin_str,
+            "--trace",
+            &path_str,
+            "--trace-format",
+            "chrome",
+        ]))
+        .expect("traced replay");
+        assert!(out.contains("telemetry counters:"));
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        assert!(telemetry::json::parse(&text).is_ok());
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bin).ok();
     }
 }

@@ -34,6 +34,13 @@ USAGE:
       --fault-horizon T        stop injecting new faults after this time
       --fault-seed N           dedicated RNG seed for the fault timeline
 
+  telemetry flags (simulate, trace run):
+      --trace PATH             write a structured trace to PATH
+      --trace-format F         jsonl (default) or chrome — the chrome format
+                               loads directly in Perfetto (ui.perfetto.dev)
+      --trace-level L          cycles, decisions (default) or all
+      --progress               live progress line on stderr while running
+
   arls compare  [--tasks N] [--offered F] [--seed N] [--references]
       run every scheduler on the same scenario and print a comparison table
 

@@ -15,6 +15,8 @@ use platform::{
 use simcore::rng::RngStream;
 use simcore::time::SimTime;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use telemetry::{Recorder, TraceLevel, Value};
 use workload::{SiteId, Task};
 
 /// A dispatched-but-unresolved sample awaiting its reward.
@@ -59,6 +61,18 @@ pub struct AdaptiveRl {
     /// Reusable per-round ledger of queue slots claimed by this round's
     /// dispatches — cleared per site, capacity kept across rounds.
     used_scratch: Vec<(NodeAddr, usize)>,
+    /// Telemetry recorder ([`telemetry::NullRecorder`] unless attached
+    /// via [`AdaptiveRl::with_recorder`]); `Arc` so the replicated
+    /// runner can share one sink across schedulers.
+    rec: Arc<dyn Recorder>,
+    /// Level gates cached at attach time — the untraced hot path pays
+    /// one predictable branch per site.
+    t_dec: bool,
+    t_cyc: bool,
+    /// Shared-memory consultations that replayed a remembered action /
+    /// fell through to ε-greedy (tracked only while tracing).
+    mem_hits: u64,
+    mem_misses: u64,
 }
 
 impl AdaptiveRl {
@@ -82,8 +96,24 @@ impl AdaptiveRl {
             issued: VecDeque::new(),
             in_flight: HashMap::new(),
             used_scratch: Vec::new(),
+            rec: Arc::new(telemetry::NullRecorder),
+            t_dec: false,
+            t_cyc: false,
+            mem_hits: 0,
+            mem_misses: 0,
             cfg,
         }
+    }
+
+    /// Attaches a telemetry recorder: per-decision events (chosen node,
+    /// policy, `pw`, ε, shared-memory hit/miss), a decision-latency
+    /// histogram, and per-learning-cycle summaries (value-net training
+    /// error, exploration rate).
+    pub fn with_recorder(mut self, rec: Arc<dyn Recorder>) -> Self {
+        self.t_dec = rec.wants(TraceLevel::Decisions);
+        self.t_cyc = rec.wants(TraceLevel::Cycles);
+        self.rec = rec;
+        self
     }
 
     /// Current exploration rate.
@@ -248,6 +278,13 @@ impl Scheduler for AdaptiveRl {
     }
 
     fn dispatch(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
+        // Wall-clock only ticks while tracing; the untraced path never
+        // touches `Instant`.
+        let t0 = if self.t_dec {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let mut cmds = Vec::new();
         let mut used = std::mem::take(&mut self.used_scratch);
         for idx in 0..self.agents.len() {
@@ -264,7 +301,7 @@ impl Scheduler for AdaptiveRl {
                 candidates.retain(|c| c.policy == forced);
             }
             let value = self.cfg.use_value_net.then_some(&self.value);
-            let (action, _src) = self.agents[idx].choose_action(
+            let (action, src) = self.agents[idx].choose_action(
                 &obs,
                 &candidates,
                 self.epsilon,
@@ -273,6 +310,15 @@ impl Scheduler for AdaptiveRl {
                 self.cfg.use_shared_memory,
                 obs.max_procs,
             );
+            if self.t_cyc && self.cfg.use_shared_memory {
+                if src == crate::agent::ChoiceSource::MemoryReplay {
+                    self.mem_hits += 1;
+                    self.rec.counter_add("memory.hits", 1);
+                } else {
+                    self.mem_misses += 1;
+                    self.rec.counter_add("memory.misses", 1);
+                }
+            }
             // Hold partial chunks only while the site has no idle
             // processor — grouping must never delay tasks that could start
             // right away. Answered from the cached site aggregates (same
@@ -288,6 +334,36 @@ impl Scheduler for AdaptiveRl {
                         match used.iter_mut().find(|(a, _)| *a == addr) {
                             Some((_, c)) => *c += 1,
                             None => used.push((addr, 1)),
+                        }
+                        if self.t_dec {
+                            self.rec.event(
+                                "decision",
+                                now.as_f64(),
+                                0,
+                                &[
+                                    ("site", Value::U64(idx as u64)),
+                                    ("node", Value::U64(addr.node as u64)),
+                                    (
+                                        "policy",
+                                        Value::Str(match group.policy {
+                                            platform::GroupPolicy::Mixed => "mixed",
+                                            platform::GroupPolicy::Identical(_) => "identical",
+                                        }),
+                                    ),
+                                    ("opnum", Value::U64(action.opnum as u64)),
+                                    ("size", Value::U64(group.tasks.len() as u64)),
+                                    ("pw", Value::F64(Self::group_pw(&group.tasks))),
+                                    ("epsilon", Value::F64(self.epsilon)),
+                                    (
+                                        "source",
+                                        Value::Str(match src {
+                                            crate::agent::ChoiceSource::MemoryReplay => "memory",
+                                            crate::agent::ChoiceSource::Explore => "explore",
+                                            crate::agent::ChoiceSource::Exploit => "exploit",
+                                        }),
+                                    ),
+                                ],
+                            );
                         }
                         self.issued.push_back(Sample {
                             obs,
@@ -308,6 +384,13 @@ impl Scheduler for AdaptiveRl {
             }
         }
         self.used_scratch = used;
+        if let Some(t0) = t0 {
+            // Only rounds that produced commands count as decisions.
+            if !cmds.is_empty() {
+                self.rec
+                    .histogram("decision_latency_us", t0.elapsed().as_secs_f64() * 1e6);
+            }
+        }
         cmds
     }
 
@@ -357,7 +440,7 @@ impl Scheduler for AdaptiveRl {
         self.in_flight.remove(&group.0);
     }
 
-    fn on_group_complete(&mut self, _now: SimTime, fb: &GroupFeedback) {
+    fn on_group_complete(&mut self, now: SimTime, fb: &GroupFeedback) {
         self.cycles += 1;
         self.epsilon = (self.epsilon * self.cfg.epsilon_decay).max(self.cfg.epsilon_floor);
         let Some(sample) = self.in_flight.remove(&fb.group.0) else {
@@ -370,12 +453,38 @@ impl Scheduler for AdaptiveRl {
             l_val,
             cycle: self.cycles,
         });
+        // The value-table delta: `train` returns the pre-update squared
+        // error. NaN (rendered as JSON null) marks cycles that trained
+        // nothing.
+        let mut value_mse = f64::NAN;
         if self.cfg.use_reward_feedback {
             let target = value_target(fb.reward, fb.size, fb.error);
             if self.cfg.use_value_net {
-                self.value.train(&sample.obs, sample.action, target);
+                value_mse = self.value.train(&sample.obs, sample.action, target);
             }
             self.agents[sample.site as usize].note_reward(fb.success_rate());
+        }
+        if self.t_cyc {
+            self.rec.counter_add("learning.cycles", 1);
+            self.rec.event(
+                "learning_cycle",
+                now.as_f64(),
+                0,
+                &[
+                    ("cycle", Value::U64(self.cycles)),
+                    ("site", Value::U64(sample.site as u64)),
+                    ("reward", Value::U64(fb.reward as u64)),
+                    ("size", Value::U64(fb.size as u64)),
+                    ("err", Value::F64(fb.error)),
+                    ("l_val", Value::F64(l_val)),
+                    ("value_mse", Value::F64(value_mse)),
+                    ("epsilon", Value::F64(self.epsilon)),
+                    ("lr", Value::F64(self.cfg.lr)),
+                    ("mem_len", Value::U64(self.memory.len() as u64)),
+                    ("mem_hits", Value::U64(self.mem_hits)),
+                    ("mem_misses", Value::U64(self.mem_misses)),
+                ],
+            );
         }
     }
 }

@@ -39,6 +39,40 @@ struct Row {
     incomplete: usize,
 }
 
+/// Compares the fresh aggregate against the committed
+/// `BENCH_throughput.json` (same mode only) and warns — non-fatally —
+/// when throughput dropped by more than 25%. Wall-clock numbers vary
+/// across machines, so this is a tripwire for gross hot-path
+/// regressions, not a CI gate.
+fn check_regression(path: &str, mode: &str, new_tasks_per_s: f64) {
+    let Ok(old) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Ok(old) = telemetry::json::parse(&old) else {
+        println!("note: existing {path} is not parseable JSON; skipping regression check");
+        return;
+    };
+    let old_mode = old.get("mode").and_then(|m| m.as_str());
+    if old_mode != Some(mode) {
+        return;
+    }
+    let Some(old_tasks_per_s) = old
+        .path(&["aggregate", "tasks_per_s"])
+        .and_then(|v| v.as_f64())
+    else {
+        return;
+    };
+    if old_tasks_per_s > 0.0 && new_tasks_per_s < 0.75 * old_tasks_per_s {
+        println!(
+            "WARNING: aggregate throughput regressed by {:.0}% vs committed baseline \
+             ({:.0} -> {:.0} tasks/s)",
+            100.0 * (1.0 - new_tasks_per_s / old_tasks_per_s),
+            old_tasks_per_s,
+            new_tasks_per_s
+        );
+    }
+}
+
 fn main() {
     let quick = std::env::var("ARL_BENCH_QUICK").is_ok() || std::env::var("ARL_QUICK").is_ok();
     let (spec, num_tasks, reps, mode) = if quick {
@@ -136,6 +170,11 @@ fn main() {
         total_events as f64 / total_wall
     ));
     json.push_str("}\n");
+    check_regression(
+        "BENCH_throughput.json",
+        mode,
+        total_tasks as f64 / total_wall,
+    );
     std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json");
 }

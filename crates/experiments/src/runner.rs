@@ -6,7 +6,12 @@ use baselines::{
     GreedyEdf, OnlineRl, OnlineRlConfig, PredictionBased, PredictionConfig, QPlusConfig,
     QPlusLearning, RoundRobin,
 };
-use platform::{ExecEngine, RunResult};
+use platform::{ExecEngine, RunResult, Scheduler};
+use std::sync::Arc;
+use telemetry::Recorder;
+
+/// A recorder shared across runs (and replication threads).
+pub type SharedRecorder = Arc<dyn Recorder>;
 
 /// Which policy to run. Carries the policy's configuration so ablations
 /// and sweeps are expressed as plain values.
@@ -77,6 +82,39 @@ impl SchedulerKind {
 
 /// Runs one scenario under one policy.
 pub fn run_scenario(scenario: &Scenario, kind: &SchedulerKind) -> RunResult {
+    run_scenario_with(scenario, kind, None)
+}
+
+/// [`run_scenario`] with a telemetry recorder attached to both the
+/// execution engine and (for the Adaptive-RL policy) the scheduler's
+/// decision/learning-cycle instrumentation. The caller owns sink
+/// finalisation (`rec.finish()`).
+pub fn run_scenario_traced(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    rec: &SharedRecorder,
+) -> RunResult {
+    run_scenario_with(scenario, kind, Some(rec))
+}
+
+fn drive<S: Scheduler>(
+    engine: &ExecEngine,
+    platform: platform::Platform,
+    tasks: Vec<workload::Task>,
+    sched: &mut S,
+    rec: Option<&SharedRecorder>,
+) -> RunResult {
+    match rec {
+        Some(r) => engine.run_traced(platform, tasks, sched, &**r),
+        None => engine.run(platform, tasks, sched),
+    }
+}
+
+fn run_scenario_with(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    rec: Option<&SharedRecorder>,
+) -> RunResult {
     let (platform, tasks) = scenario.build();
     let sites = platform.num_sites();
     let engine = ExecEngine::new(scenario.exec);
@@ -84,27 +122,30 @@ pub fn run_scenario(scenario: &Scenario, kind: &SchedulerKind) -> RunResult {
     match seeded {
         SchedulerKind::Adaptive(cfg) => {
             let mut s = AdaptiveRl::new(sites, cfg);
-            engine.run(platform, tasks, &mut s)
+            if let Some(r) = rec {
+                s = s.with_recorder(r.clone());
+            }
+            drive(&engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::Online(cfg) => {
             let mut s = OnlineRl::new(sites, cfg);
-            engine.run(platform, tasks, &mut s)
+            drive(&engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::QPlus(cfg) => {
             let mut s = QPlusLearning::new(sites, cfg);
-            engine.run(platform, tasks, &mut s)
+            drive(&engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::Prediction(cfg) => {
             let mut s = PredictionBased::new(sites, cfg);
-            engine.run(platform, tasks, &mut s)
+            drive(&engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::RoundRobin => {
             let mut s = RoundRobin::new(sites);
-            engine.run(platform, tasks, &mut s)
+            drive(&engine, platform, tasks, &mut s, rec)
         }
         SchedulerKind::GreedyEdf => {
             let mut s = GreedyEdf::new(sites);
-            engine.run(platform, tasks, &mut s)
+            drive(&engine, platform, tasks, &mut s, rec)
         }
     }
 }
@@ -117,6 +158,29 @@ pub fn run_scenario(scenario: &Scenario, kind: &SchedulerKind) -> RunResult {
 /// simultaneous simulations. Results are returned in replication order,
 /// so aggregation stays deterministic regardless of scheduling.
 pub fn run_replicated(scenario: &Scenario, kind: &SchedulerKind, reps: u32) -> Vec<RunResult> {
+    run_replicated_with(scenario, kind, reps, None)
+}
+
+/// [`run_replicated`] with one shared recorder across all replication
+/// threads. The sinks serialise concurrent emissions internally (whole
+/// lines / whole records under a mutex), so a shared JSONL sink stays
+/// line-atomic. Use the `rep` field-free sim-time to tell replications
+/// apart, or trace one replication at a time for untangled spans.
+pub fn run_replicated_traced(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    reps: u32,
+    rec: &SharedRecorder,
+) -> Vec<RunResult> {
+    run_replicated_with(scenario, kind, reps, Some(rec))
+}
+
+fn run_replicated_with(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    reps: u32,
+    rec: Option<&SharedRecorder>,
+) -> Vec<RunResult> {
     assert!(reps > 0, "need at least one replication");
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -128,12 +192,16 @@ pub fn run_replicated(scenario: &Scenario, kind: &SchedulerKind, reps: u32) -> V
     crossbeam::thread::scope(|scope| {
         for (c, block) in slots.chunks_mut(chunk).enumerate() {
             let kind = kind.clone();
+            let rec = rec.cloned();
             scope.spawn(move |_| {
                 for (j, slot) in block.iter_mut().enumerate() {
                     let i = c * chunk + j;
                     let mut sc = scenario.clone();
                     sc.seed = scenario.seed.wrapping_add(i as u64);
-                    *slot = Some(run_scenario(&sc, &kind));
+                    *slot = Some(match &rec {
+                        Some(r) => run_scenario_traced(&sc, &kind, r),
+                        None => run_scenario(&sc, &kind),
+                    });
                 }
             });
         }

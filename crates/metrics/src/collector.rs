@@ -23,16 +23,36 @@ pub fn success_rate(r: &RunResult) -> f64 {
     r.success_rate()
 }
 
-/// The `q`-quantile of per-task response times over completed tasks
-/// (failure-abandoned tasks have no completion); `None` on an empty run.
+/// The `q`-quantile of per-task response times over tasks completed
+/// within the observation period (arrival start to last arrival).
+///
+/// Failure-abandoned tasks have no completion and are always excluded.
+/// Tasks that only finish during the drain tail — after the last arrival
+/// at `r.arrival_horizon` — are outside the observation window and are
+/// excluded too, so the quantiles describe steady-state latency rather
+/// than the ramp-down. When *no* task completes inside the window (tiny
+/// runs whose work all lands in the tail), the quantile falls back to
+/// all completed tasks so short scenarios stay measurable. `None` on an
+/// empty or all-failed run.
 pub fn response_time_quantile(r: &RunResult, q: f64) -> Option<f64> {
-    let rts: Vec<f64> = r
+    let completed = |rec: &&platform::TaskRecord| rec.outcome != platform::TaskOutcome::Failed;
+    let in_window: Vec<f64> = r
         .records
         .iter()
-        .filter(|rec| rec.outcome != platform::TaskOutcome::Failed)
+        .filter(completed)
+        .filter(|rec| rec.finished.as_f64() <= r.arrival_horizon)
         .map(|rec| rec.response_time())
         .collect();
-    quantile(&rts, q)
+    if !in_window.is_empty() {
+        return quantile(&in_window, q);
+    }
+    let all_completed: Vec<f64> = r
+        .records
+        .iter()
+        .filter(completed)
+        .map(|rec| rec.response_time())
+        .collect();
+    quantile(&all_completed, q)
 }
 
 /// Utilisation per learning-cycle decile (Figs. 9–10).
@@ -347,7 +367,63 @@ mod tests {
             .map(|rec| rec.response_time())
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(s.response_p50 >= min_rt && s.response_p95 <= max_rt);
-        assert_eq!(response_time_quantile(&r, 1.0), Some(max_rt));
+        // q = 1.0 is the slowest task completed inside the observation
+        // window (the drain tail is excluded).
+        let max_in_window = r
+            .records
+            .iter()
+            .filter(|rec| rec.finished.as_f64() <= r.arrival_horizon)
+            .map(|rec| rec.response_time())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_in_window.is_finite(), "window holds completions");
+        assert_eq!(response_time_quantile(&r, 1.0), Some(max_in_window));
+    }
+
+    #[test]
+    fn quantile_is_none_on_an_empty_run() {
+        let mut r = sample_run();
+        r.records.clear();
+        assert_eq!(response_time_quantile(&r, 0.5), None);
+    }
+
+    #[test]
+    fn quantile_is_none_when_every_task_failed() {
+        let mut r = sample_run();
+        for rec in &mut r.records {
+            rec.outcome = platform::TaskOutcome::Failed;
+        }
+        assert_eq!(response_time_quantile(&r, 0.5), None);
+        assert_eq!(response_time_quantile(&r, 0.95), None);
+    }
+
+    #[test]
+    fn drain_tail_is_excluded_but_tail_only_runs_fall_back() {
+        let r = sample_run();
+        let max_all = r
+            .records
+            .iter()
+            .map(|rec| rec.response_time())
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Shrink the observation window so some completions fall in the
+        // drain tail: the tail's slowest task must stop dominating q=1.0.
+        let mut shrunk = r.clone();
+        let mut finish_times: Vec<f64> =
+            shrunk.records.iter().map(|x| x.finished.as_f64()).collect();
+        finish_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        shrunk.arrival_horizon = finish_times[finish_times.len() / 2];
+        let windowed = response_time_quantile(&shrunk, 1.0).expect("windowed quantile");
+        let max_in_window = shrunk
+            .records
+            .iter()
+            .filter(|rec| rec.finished.as_f64() <= shrunk.arrival_horizon)
+            .map(|rec| rec.response_time())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(windowed, max_in_window);
+        // A window that excludes everything falls back to all completed
+        // tasks instead of reporting nothing.
+        let mut tail_only = r.clone();
+        tail_only.arrival_horizon = -1.0;
+        assert_eq!(response_time_quantile(&tail_only, 1.0), Some(max_all));
     }
 
     #[test]

@@ -28,6 +28,7 @@ use simcore::engine::{Engine, EngineHandle, RunOutcome, Simulation};
 use simcore::rng::RngStream;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::HashMap;
+use telemetry::{Progress, Recorder, TelemetrySummary, TraceLevel, Value};
 use workload::{Priority, SiteId, Task, TaskId};
 
 /// Engine configuration.
@@ -201,6 +202,9 @@ pub struct RunResult {
     /// Simulation events processed by the event loop — the numerator of
     /// the throughput benchmark's events/sec figure.
     pub events_processed: u64,
+    /// Counter totals and histogram quantiles accumulated by the run's
+    /// telemetry recorder. `None` on untraced runs.
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunResult {
@@ -309,6 +313,23 @@ struct Driver<'s, S: Scheduler> {
     touched_scratch: Vec<NodeAddr>,
     /// Reused buffer for events produced by one engine event.
     ev_scratch: Vec<(SimTime, Ev)>,
+    /// Telemetry recorder; [`telemetry::NULL`] on untraced runs.
+    rec: &'s dyn Recorder,
+    /// Level gates resolved once at construction: the disabled path pays
+    /// one predictable branch per site, never a virtual call.
+    t_cyc: bool,
+    t_dec: bool,
+    /// Whether the recorder wants periodic [`Progress`] snapshots.
+    progress_on: bool,
+    /// Wall-clock start, for progress rate reporting.
+    wall_start: std::time::Instant,
+    /// Engine events seen (mirrors the engine's own counter, which the
+    /// driver cannot reach mid-run).
+    events_seen: u64,
+    /// Tasks that met their deadline so far (for progress snapshots).
+    met_count: usize,
+    /// First flat node-track index per site (Chrome-trace `tid`s).
+    node_track: Vec<u32>,
 }
 
 impl<S: Scheduler> Driver<'_, S> {
@@ -326,6 +347,39 @@ impl<S: Scheduler> Driver<'_, S> {
     /// (met or missed) or failed — the conservation invariant.
     fn resolved(&self) -> usize {
         self.completed + self.failed_tasks
+    }
+
+    /// Flat node index across the whole platform — the Chrome-trace
+    /// `tid`, so each node renders as its own track.
+    fn track(&self, addr: NodeAddr) -> u32 {
+        self.node_track[addr.site.0 as usize] + addr.node
+    }
+
+    /// Emit one [`Progress`] snapshot (gated by `progress_on` at call
+    /// sites; the energy integral here is O(nodes)).
+    fn emit_progress(&self, now: SimTime) {
+        let p = Progress {
+            sim_time: now.as_f64(),
+            wall_s: self.wall_start.elapsed().as_secs_f64(),
+            done: self.resolved(),
+            total: self.tasks.len(),
+            met: self.met_count,
+            energy: self.platform.total_energy_at(now),
+            events: self.events_seen,
+        };
+        self.rec.progress(&p);
+    }
+
+    /// Per-site queue-depth and power snapshot appended to dispatch and
+    /// fault/recovery records (only reached when a gate is already open).
+    fn site_snapshot(&self, site: SiteId) -> (crate::topology::SiteStats, f64) {
+        let st = self.platform.site_stats(site);
+        let power: f64 = self.platform.sites[site.0 as usize]
+            .nodes
+            .iter()
+            .map(|n| n.power_sum())
+            .sum();
+        (st, power)
     }
 
     /// Starts every task that can start on `addr` right now, per the
@@ -460,6 +514,9 @@ impl<S: Scheduler> Driver<'_, S> {
                 p.split = as_split;
                 if as_split {
                     self.split_starts += 1;
+                    if self.t_cyc {
+                        self.rec.counter_add("split.starts", 1);
+                    }
                 }
             }
         }
@@ -493,6 +550,9 @@ impl<S: Scheduler> Driver<'_, S> {
                     };
                     if !accept {
                         self.rejections += 1;
+                        if self.t_cyc {
+                            self.rec.counter_add("dispatch.rejected", 1);
+                        }
                         let site = tasks.first().map(|t| t.site).unwrap_or(addr.site);
                         self.sched.on_rejected(now, site, tasks);
                         continue;
@@ -527,6 +587,34 @@ impl<S: Scheduler> Driver<'_, S> {
                         error,
                     };
                     self.sched.on_assignment(now, &fb);
+                    if self.t_cyc {
+                        self.rec.counter_add("groups.dispatched", 1);
+                    }
+                    if self.t_dec {
+                        let (st, power) = self.site_snapshot(addr.site);
+                        self.rec.span_begin(
+                            "group",
+                            gid.0,
+                            now.as_f64(),
+                            self.track(addr),
+                            &[
+                                ("site", Value::U64(addr.site.0 as u64)),
+                                ("node", Value::U64(addr.node as u64)),
+                                ("size", Value::U64(size as u64)),
+                                ("pw", Value::F64(pw)),
+                                ("capacity", Value::F64(capacity)),
+                                ("err", Value::F64(error)),
+                                ("site_queued", Value::U64(st.queued_groups as u64)),
+                                ("site_idle", Value::U64(st.idle as u64)),
+                                ("site_power_w", Value::F64(power)),
+                            ],
+                        );
+                        self.rec.gauge(
+                            &format!("queued.site{}", addr.site.0),
+                            now.as_f64(),
+                            st.queued_groups as f64,
+                        );
+                    }
                     if !touched.contains(&addr) {
                         touched.push(addr);
                     }
@@ -590,6 +678,35 @@ impl<S: Scheduler> Driver<'_, S> {
             completed_at: now,
             split: qg.split_mode,
         };
+        if self.t_dec {
+            self.rec
+                .span_end("group", group_id.0, now.as_f64(), self.track(addr));
+            let st = self.platform.site_stats(addr.site);
+            self.rec.gauge(
+                &format!("queued.site{}", addr.site.0),
+                now.as_f64(),
+                st.queued_groups as f64,
+            );
+        }
+        if self.t_cyc {
+            self.rec.counter_add("groups.completed", 1);
+            self.rec.histogram("queue_wait_s", fb.wait_time());
+            self.rec.event(
+                "group_complete",
+                now.as_f64(),
+                self.track(addr),
+                &[
+                    ("cycle", Value::U64(self.cycle)),
+                    ("site", Value::U64(addr.site.0 as u64)),
+                    ("node", Value::U64(addr.node as u64)),
+                    ("size", Value::U64(fb.size as u64)),
+                    ("reward", Value::U64(fb.reward as u64)),
+                    ("err", Value::F64(fb.error)),
+                    ("wait_s", Value::F64(fb.wait_time())),
+                    ("split", Value::Bool(fb.split)),
+                ],
+            );
+        }
         self.sched.on_group_complete(now, &fb);
     }
 
@@ -618,7 +735,18 @@ impl<S: Scheduler> Driver<'_, S> {
             p.met = met;
         }
         self.completed += 1;
+        if met {
+            self.met_count += 1;
+        }
         self.last_completion = now;
+        if self.t_cyc {
+            self.rec.counter_add("tasks.completed", 1);
+            if met {
+                self.rec.counter_add("tasks.met", 1);
+            }
+            self.rec
+                .histogram("task_response_s", now.since(task.arrival).as_f64());
+        }
 
         let complete = {
             let g = self
@@ -648,6 +776,9 @@ impl<S: Scheduler> Driver<'_, S> {
         debug_assert!(p.finished.is_none() && p.failed_at.is_none());
         p.failed_at = Some(now);
         self.failed_tasks += 1;
+        if self.t_cyc {
+            self.rec.counter_add("tasks.failed", 1);
+        }
     }
 
     /// Re-dispatches tasks lost to a failure. Each orphan consumes one unit
@@ -673,6 +804,9 @@ impl<S: Scheduler> Driver<'_, S> {
                 continue;
             }
             self.retries += 1;
+            if self.t_cyc {
+                self.rec.counter_add("tasks.retried", 1);
+            }
             let mut t = task;
             let budget = task.deadline.since(task.arrival).as_f64();
             let slack = task.deadline.as_f64() - now.as_f64();
@@ -729,6 +863,9 @@ impl<S: Scheduler> Driver<'_, S> {
             let preempted = self.platform.fail_proc(addr, pi, now);
             if let Some((task_id, group_id)) = preempted {
                 self.preemptions += 1;
+                if self.t_cyc {
+                    self.rec.counter_add("tasks.preempted", 1);
+                }
                 {
                     let g = self
                         .platform
@@ -766,6 +903,30 @@ impl<S: Scheduler> Driver<'_, S> {
                 })
                 .sum();
             self.site_perm_procs[s] = alive_total;
+        }
+        if self.t_cyc {
+            self.rec.counter_add("faults.injected", 1);
+            let (st, power) = self.site_snapshot(addr.site);
+            let proc = match fault.target {
+                FaultTarget::Proc(p) => p.proc as i64,
+                FaultTarget::Node(_) => -1,
+            };
+            self.rec.event(
+                "fault",
+                now.as_f64(),
+                self.track(addr),
+                &[
+                    ("site", Value::U64(addr.site.0 as u64)),
+                    ("node", Value::U64(addr.node as u64)),
+                    ("proc", Value::I64(proc)),
+                    ("permanent", Value::Bool(permanent)),
+                    ("preempted", Value::U64(orphans.len() as u64)),
+                    ("site_failed", Value::U64(st.failed as u64)),
+                    ("site_idle", Value::U64(st.idle as u64)),
+                    ("site_queued", Value::U64(st.queued_groups as u64)),
+                    ("site_power_w", Value::F64(power)),
+                ],
+            );
         }
         // Groups this fault completed by member loss: if any member did
         // finish, the reward feedback still flows; a group that lost every
@@ -825,6 +986,25 @@ impl<S: Scheduler> Driver<'_, S> {
             }
         }
         self.groups_aborted += 1;
+        if self.t_dec {
+            // Close the dispatch span opened in `apply`: aborted groups
+            // must not leave dangling async spans in the trace.
+            self.rec
+                .span_end("group", gid.0, now.as_f64(), self.track(addr));
+        }
+        if self.t_cyc {
+            self.rec.counter_add("groups.aborted", 1);
+            self.rec.event(
+                "group_abort",
+                now.as_f64(),
+                self.track(addr),
+                &[
+                    ("site", Value::U64(addr.site.0 as u64)),
+                    ("node", Value::U64(addr.node as u64)),
+                    ("orphaned", Value::U64(qg.group.tasks.len() as u64)),
+                ],
+            );
+        }
         self.sched.on_group_aborted(now, gid);
     }
 
@@ -908,6 +1088,23 @@ impl<S: Scheduler> Driver<'_, S> {
         // One planned outage = one recovery, matching `faults_injected`
         // units (a node event counts once, not once per processor).
         self.faults_recovered += 1;
+        if self.t_cyc {
+            self.rec.counter_add("faults.recovered", 1);
+            let (st, power) = self.site_snapshot(addr.site);
+            self.rec.event(
+                "recover",
+                now.as_f64(),
+                self.track(addr),
+                &[
+                    ("site", Value::U64(addr.site.0 as u64)),
+                    ("node", Value::U64(addr.node as u64)),
+                    ("site_failed", Value::U64(st.failed as u64)),
+                    ("site_idle", Value::U64(st.idle as u64)),
+                    ("site_queued", Value::U64(st.queued_groups as u64)),
+                    ("site_power_w", Value::F64(power)),
+                ],
+            );
+        }
         self.start_ready(addr, now, out);
         self.dispatch_round(now, out);
     }
@@ -920,6 +1117,7 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
         if now.as_f64() > self.cfg.max_time {
             return false;
         }
+        self.events_seen += 1;
         // One reusable buffer for the whole event — handlers append, the
         // tail loop schedules, and the (cleared) capacity carries over to
         // the next event instead of reallocating.
@@ -959,6 +1157,9 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
                     self.apply(cmds, now, &mut out);
                 }
                 self.dispatch_round(now, &mut out);
+                if self.progress_on {
+                    self.emit_progress(now);
+                }
                 if self.resolved() < self.tasks.len() {
                     handle.schedule_in(SimDuration::new(self.cfg.tick_interval), Ev::Tick);
                 }
@@ -1052,6 +1253,27 @@ impl ExecEngine {
         tasks: Vec<Task>,
         sched: &mut S,
     ) -> RunResult {
+        // The no-op recorder wants no level, so every telemetry gate in
+        // the driver resolves to `false` and this path stays identical to
+        // the pre-telemetry engine (pinned by `golden_determinism` and
+        // the throughput baseline).
+        self.run_traced(platform, tasks, sched, &telemetry::NULL)
+    }
+
+    /// [`ExecEngine::run`] with a telemetry [`Recorder`] attached.
+    ///
+    /// The recorder observes dispatch/finish spans, fault/recovery
+    /// markers with per-site queue-depth and power snapshots, queue-wait
+    /// and response-time histograms, and (at [`TraceLevel::All`]) the
+    /// per-event engine firehose. The caller owns sink finalisation
+    /// (`rec.finish()`).
+    pub fn run_traced<S: Scheduler>(
+        &self,
+        platform: Platform,
+        tasks: Vec<Task>,
+        sched: &mut S,
+        rec: &dyn Recorder,
+    ) -> RunResult {
         for (i, t) in tasks.iter().enumerate() {
             assert_eq!(t.id.0, i as u64, "task ids must be dense from 0");
         }
@@ -1086,8 +1308,12 @@ impl ExecEngine {
         let mut proc_base: Vec<Vec<usize>> = Vec::with_capacity(platform.num_sites());
         let mut flat = 0usize;
         let mut site_perm_procs = vec![0usize; platform.num_sites()];
+        let mut node_track = Vec::with_capacity(platform.num_sites());
+        let mut next_track = 0u32;
         for site in &platform.sites {
             let mut bases = Vec::with_capacity(site.nodes.len());
+            node_track.push(next_track);
+            next_track += site.nodes.len() as u32;
             for node in &site.nodes {
                 bases.push(flat);
                 flat += node.num_processors();
@@ -1124,6 +1350,14 @@ impl ExecEngine {
             groups_aborted: 0,
             touched_scratch: Vec::new(),
             ev_scratch: Vec::new(),
+            rec,
+            t_cyc: rec.wants(TraceLevel::Cycles),
+            t_dec: rec.wants(TraceLevel::Decisions),
+            progress_on: rec.wants_progress(),
+            wall_start: std::time::Instant::now(),
+            events_seen: 0,
+            met_count: 0,
+            node_track,
         };
         let mut engine = Engine::new().with_fuse(self.cfg.fuse);
         for (i, t) in driver.tasks.iter().enumerate() {
@@ -1136,7 +1370,22 @@ impl ExecEngine {
                 engine.prime(r, Ev::Recover(i as u32));
             }
         }
-        let outcome = engine.run(&mut driver);
+        let outcome = if rec.wants(TraceLevel::All) {
+            engine.run_traced(&mut driver, rec, |ev| match ev {
+                Ev::Arrival(_) => "arrival",
+                Ev::TaskDone(..) => "task_done",
+                Ev::WakeDone(..) => "wake_done",
+                Ev::Tick => "tick",
+                Ev::Fault(_) => "fault",
+                Ev::Recover(_) => "recover",
+            })
+        } else {
+            engine.run(&mut driver)
+        };
+        if driver.progress_on {
+            // Final snapshot so short runs print at least one line.
+            driver.emit_progress(engine.now());
+        }
 
         let makespan = driver.last_completion;
         let records: Vec<TaskRecord> = driver
@@ -1218,6 +1467,7 @@ impl ExecEngine {
             records,
             outcome: format!("{outcome:?}"),
             events_processed: engine.processed(),
+            telemetry: rec.summary(),
         }
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::event::EventQueue;
 use crate::time::SimTime;
+use telemetry::{Recorder, TraceLevel, Value};
 
 /// Callback interface driven by [`Engine::run`].
 pub trait Simulation {
@@ -142,6 +143,53 @@ impl<E> Engine<E> {
         }
         RunOutcome::Drained
     }
+
+    /// [`Engine::run`] with per-event telemetry.
+    ///
+    /// The firehose (one record per engine event: kind, simulated time,
+    /// wall-clock offset) only fires at [`TraceLevel::All`]; the gate is
+    /// resolved once before the loop, so cheaper levels pay a single
+    /// dead branch per event. `kind_name` maps an event payload to a
+    /// static label without moving or cloning it.
+    pub fn run_traced<S, F>(&mut self, sim: &mut S, rec: &dyn Recorder, kind_name: F) -> RunOutcome
+    where
+        S: Simulation<Event = E>,
+        F: Fn(&E) -> &'static str,
+    {
+        let firehose = rec.wants(TraceLevel::All);
+        let wall_start = std::time::Instant::now();
+        while let Some(scheduled) = self.queue.pop() {
+            debug_assert!(scheduled.time >= self.now, "event queue must be monotone");
+            self.now = scheduled.time;
+            self.processed += 1;
+            if firehose {
+                rec.event(
+                    "engine.event",
+                    self.now.as_f64(),
+                    0,
+                    &[
+                        ("kind", Value::Str(kind_name(&scheduled.event))),
+                        ("seq", Value::U64(self.processed)),
+                        (
+                            "wall_us",
+                            Value::F64(wall_start.elapsed().as_secs_f64() * 1e6),
+                        ),
+                    ],
+                );
+            }
+            let mut handle = EngineHandle {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            if !sim.on_event(self.now, scheduled.event, &mut handle) {
+                return RunOutcome::Stopped;
+            }
+            if self.processed >= self.fuse {
+                return RunOutcome::FuseBlown;
+            }
+        }
+        RunOutcome::Drained
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +278,54 @@ mod tests {
         let mut engine = Engine::new();
         engine.prime(SimTime::new(5.0), ());
         let _ = engine.run(&mut PastScheduler);
+    }
+
+    /// Records just how many firehose events reached it.
+    #[derive(Default)]
+    struct CountingRecorder(std::sync::Mutex<u64>);
+
+    impl Recorder for CountingRecorder {
+        fn wants(&self, level: TraceLevel) -> bool {
+            level == TraceLevel::All || TraceLevel::All.accepts(level)
+        }
+        fn event(&self, _n: &str, _t: f64, _k: u32, _f: telemetry::Fields<'_>) {
+            *self.0.lock().unwrap() += 1;
+        }
+        fn span_begin(&self, _n: &str, _i: u64, _t: f64, _k: u32, _f: telemetry::Fields<'_>) {}
+        fn span_end(&self, _n: &str, _i: u64, _t: f64, _k: u32) {}
+        fn gauge(&self, _n: &str, _t: f64, _v: f64) {}
+        fn counter_add(&self, _n: &'static str, _d: u64) {}
+        fn histogram(&self, _n: &'static str, _v: f64) {}
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_counts_events() {
+        let mk = || Bouncer {
+            remaining: 3,
+            times: Vec::new(),
+        };
+        let mut plain = mk();
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.5), Bounce);
+        assert_eq!(engine.run(&mut plain), RunOutcome::Drained);
+
+        let rec = CountingRecorder::default();
+        let mut traced = mk();
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.5), Bounce);
+        let outcome = engine.run_traced(&mut traced, &rec, |_e| "bounce");
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(traced.times, plain.times);
+        assert_eq!(*rec.0.lock().unwrap(), 4);
+
+        // The null recorder suppresses the firehose entirely.
+        let mut nulled = mk();
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.5), Bounce);
+        assert_eq!(
+            engine.run_traced(&mut nulled, &telemetry::NULL, |_e| "bounce"),
+            RunOutcome::Drained
+        );
+        assert_eq!(nulled.times, plain.times);
     }
 }

@@ -1,0 +1,230 @@
+//! Chrome `trace_event` exporter (the JSON-array flavour), loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! Mapping:
+//! - `span_begin`/`span_end` → async `ph:"b"` / `ph:"e"` pairs keyed by
+//!   `(cat, id)` — group lifetimes (dispatch → completion) render as
+//!   horizontal bars per node track (`tid` = flat node index).
+//! - `event` → global instant events (`ph:"i"`, `s:"g"`) — learning
+//!   cycles, faults, recoveries, decisions.
+//! - `gauge` → counter tracks (`ph:"C"`) — per-site queue depth and
+//!   power draw.
+//!
+//! Timestamps are microseconds: simulated seconds × 1e6. Events are
+//! streamed to the writer in emission order, which the engine guarantees
+//! is non-decreasing in simulated time.
+
+use crate::fmt::{push_f64, push_fields, push_json_str};
+use crate::jsonl::SinkWriter;
+use crate::recorder::{Fields, Progress, Recorder, TraceLevel};
+use crate::stats::{StatsCore, TelemetrySummary};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+const CATEGORY: &str = "sim";
+
+struct ChromeOut {
+    w: SinkWriter,
+    wrote_any: bool,
+    finished: bool,
+}
+
+pub struct ChromeTraceSink {
+    level: TraceLevel,
+    out: Mutex<ChromeOut>,
+    stats: StatsCore,
+}
+
+impl ChromeTraceSink {
+    /// Create (truncate) `path` and record events up to `level`.
+    pub fn create<P: AsRef<Path>>(path: P, level: TraceLevel) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Self::to_writer(Box::new(BufWriter::new(file)), level)
+    }
+
+    /// Build a sink over any writer (used by tests).
+    pub fn to_writer(mut out: SinkWriter, level: TraceLevel) -> io::Result<Self> {
+        out.write_all(b"[\n")?;
+        Ok(ChromeTraceSink {
+            level,
+            out: Mutex::new(ChromeOut {
+                w: out,
+                wrote_any: false,
+                finished: false,
+            }),
+            stats: StatsCore::new(),
+        })
+    }
+
+    /// Append one record (no surrounding comma) to the streamed array.
+    fn emit(&self, record: &str) {
+        let mut out = self.out.lock().expect("chrome writer lock");
+        if out.finished {
+            return;
+        }
+        if out.wrote_any {
+            let _ = out.w.write_all(b",\n");
+        }
+        out.wrote_any = true;
+        let _ = out.w.write_all(record.as_bytes());
+    }
+
+    /// Common record prefix: name, category, phase, timestamp, pid/tid.
+    fn head(name: &str, ph: &str, t: f64, track: u32) -> String {
+        let mut r = String::with_capacity(128);
+        r.push_str("{\"name\":");
+        push_json_str(&mut r, name);
+        r.push_str(",\"cat\":\"");
+        r.push_str(CATEGORY);
+        r.push_str("\",\"ph\":\"");
+        r.push_str(ph);
+        r.push_str("\",\"ts\":");
+        push_f64(&mut r, t * 1e6);
+        r.push_str(",\"pid\":0,\"tid\":");
+        r.push_str(&track.to_string());
+        r
+    }
+}
+
+impl Recorder for ChromeTraceSink {
+    fn wants(&self, level: TraceLevel) -> bool {
+        self.level.accepts(level)
+    }
+
+    fn event(&self, name: &str, t: f64, track: u32, fields: Fields<'_>) {
+        let mut r = Self::head(name, "i", t, track);
+        r.push_str(",\"s\":\"g\",\"args\":");
+        push_fields(&mut r, fields);
+        r.push('}');
+        self.emit(&r);
+    }
+
+    fn span_begin(&self, name: &str, id: u64, t: f64, track: u32, fields: Fields<'_>) {
+        let mut r = Self::head(name, "b", t, track);
+        r.push_str(",\"id\":");
+        r.push_str(&id.to_string());
+        r.push_str(",\"args\":");
+        push_fields(&mut r, fields);
+        r.push('}');
+        self.emit(&r);
+    }
+
+    fn span_end(&self, name: &str, id: u64, t: f64, track: u32) {
+        let mut r = Self::head(name, "e", t, track);
+        r.push_str(",\"id\":");
+        r.push_str(&id.to_string());
+        r.push_str(",\"args\":{}}");
+        self.emit(&r);
+    }
+
+    fn gauge(&self, name: &str, t: f64, value: f64) {
+        let mut r = Self::head(name, "C", t, 0);
+        r.push_str(",\"args\":{\"value\":");
+        push_f64(&mut r, value);
+        r.push_str("}}");
+        self.emit(&r);
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.stats.counter_add(name, delta);
+    }
+
+    fn histogram(&self, name: &'static str, value: f64) {
+        self.stats.histogram(name, value);
+    }
+
+    fn progress(&self, _p: &Progress) {}
+
+    fn summary(&self) -> Option<TelemetrySummary> {
+        Some(self.stats.summary())
+    }
+
+    /// Close the JSON array; idempotent, also invoked on drop.
+    fn finish(&self) {
+        let mut out = self.out.lock().expect("chrome writer lock");
+        if out.finished {
+            return;
+        }
+        out.finished = true;
+        let _ = out.w.write_all(b"\n]\n");
+        let _ = out.w.flush();
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::recorder::Value;
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn render(f: impl FnOnce(&ChromeTraceSink)) -> String {
+        let buf = SharedBuf::default();
+        let sink = ChromeTraceSink::to_writer(Box::new(buf.clone()), TraceLevel::All).unwrap();
+        f(&sink);
+        sink.finish();
+        let bytes = buf.0.lock().unwrap().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn empty_trace_is_a_valid_array() {
+        let text = render(|_| {});
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn records_render_with_microsecond_ts() {
+        let text = render(|s| {
+            s.span_begin("group", 7, 0.5, 3, &[("size", Value::U64(4))]);
+            s.event("fault", 0.75, 3, &[]);
+            s.gauge("queue", 0.8, 2.0);
+            s.span_end("group", 7, 1.0, 3);
+        });
+        let v = json::parse(&text).unwrap();
+        let evs = v.as_array().unwrap();
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("b"));
+        assert_eq!(evs[0].get("ts").unwrap().as_f64(), Some(0.5e6));
+        assert_eq!(evs[0].path(&["args", "size"]).unwrap().as_f64(), Some(4.0));
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(evs[2].get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(evs[3].get("ph").unwrap().as_str(), Some("e"));
+        assert_eq!(evs[3].get("id").unwrap().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_blocks_late_events() {
+        let buf = SharedBuf::default();
+        let sink = ChromeTraceSink::to_writer(Box::new(buf.clone()), TraceLevel::All).unwrap();
+        sink.event("a", 0.0, 0, &[]);
+        sink.finish();
+        sink.finish();
+        sink.event("late", 1.0, 0, &[]);
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! JSONL structured-event sink: one self-contained JSON object per
+//! line.
+//!
+//! Line atomicity: each record is formatted into a private `String`
+//! (newline included) and written with a single `write_all` while
+//! holding the writer lock, so lines from replicated runner threads
+//! sharing one sink never interleave.
+
+use crate::fmt::{push_f64, push_fields, push_json_str};
+use crate::recorder::{Fields, Progress, Recorder, TraceLevel};
+use crate::stats::{StatsCore, TelemetrySummary};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A boxed output the sink can write to; `File` in production, a shared
+/// buffer in tests.
+pub type SinkWriter = Box<dyn Write + Send>;
+
+pub struct JsonlSink {
+    level: TraceLevel,
+    out: Mutex<SinkWriter>,
+    stats: StatsCore,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and record events up to `level`.
+    pub fn create<P: AsRef<Path>>(path: P, level: TraceLevel) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(file)), level))
+    }
+
+    /// Build a sink over any writer (used by tests).
+    pub fn to_writer(out: SinkWriter, level: TraceLevel) -> Self {
+        JsonlSink {
+            level,
+            out: Mutex::new(out),
+            stats: StatsCore::new(),
+        }
+    }
+
+    fn write_line(&self, line: &str) {
+        debug_assert!(line.ends_with('\n'));
+        let mut out = self.out.lock().expect("jsonl writer lock");
+        // A full line per syscall-visible write: atomic w.r.t. other
+        // threads sharing this sink.
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn record(&self, kind: &str, name: &str, t: f64, track: u32) -> String {
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"type\":");
+        push_json_str(&mut line, kind);
+        line.push_str(",\"name\":");
+        push_json_str(&mut line, name);
+        line.push_str(",\"t\":");
+        push_f64(&mut line, t);
+        line.push_str(",\"track\":");
+        line.push_str(&track.to_string());
+        line
+    }
+}
+
+impl Recorder for JsonlSink {
+    fn wants(&self, level: TraceLevel) -> bool {
+        self.level.accepts(level)
+    }
+
+    fn event(&self, name: &str, t: f64, track: u32, fields: Fields<'_>) {
+        let mut line = self.record("event", name, t, track);
+        line.push_str(",\"fields\":");
+        push_fields(&mut line, fields);
+        line.push_str("}\n");
+        self.write_line(&line);
+    }
+
+    fn span_begin(&self, name: &str, id: u64, t: f64, track: u32, fields: Fields<'_>) {
+        let mut line = self.record("span_begin", name, t, track);
+        line.push_str(",\"id\":");
+        line.push_str(&id.to_string());
+        line.push_str(",\"fields\":");
+        push_fields(&mut line, fields);
+        line.push_str("}\n");
+        self.write_line(&line);
+    }
+
+    fn span_end(&self, name: &str, id: u64, t: f64, track: u32) {
+        let mut line = self.record("span_end", name, t, track);
+        line.push_str(",\"id\":");
+        line.push_str(&id.to_string());
+        line.push_str("}\n");
+        self.write_line(&line);
+    }
+
+    fn gauge(&self, name: &str, t: f64, value: f64) {
+        let mut line = self.record("gauge", name, t, 0);
+        line.push_str(",\"value\":");
+        push_f64(&mut line, value);
+        line.push_str("}\n");
+        self.write_line(&line);
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.stats.counter_add(name, delta);
+    }
+
+    fn histogram(&self, name: &'static str, value: f64) {
+        self.stats.histogram(name, value);
+    }
+
+    fn progress(&self, _p: &Progress) {}
+
+    fn summary(&self) -> Option<TelemetrySummary> {
+        Some(self.stats.summary())
+    }
+
+    fn finish(&self) {
+        let mut out = self.out.lock().expect("jsonl writer lock");
+        let _ = out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::recorder::Value;
+    use std::sync::Arc;
+
+    /// A writer handing every byte to a shared buffer, so tests can read
+    /// back what the sink wrote.
+    #[derive(Clone, Default)]
+    pub(crate) struct SharedBuf(pub Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn every_line_is_valid_json() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::to_writer(Box::new(buf.clone()), TraceLevel::All);
+        sink.event("cycle", 1.25, 3, &[("reward", Value::U64(1))]);
+        sink.span_begin("group", 42, 2.0, 7, &[("site", Value::U64(0))]);
+        sink.span_end("group", 42, 3.5, 7);
+        sink.gauge("queue", 4.0, 9.0);
+        sink.finish();
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            let v = json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+            assert!(v.get("type").is_some() && v.get("t").is_some());
+        }
+        let begin = json::parse(lines[1]).unwrap();
+        assert_eq!(begin.get("id").unwrap().as_f64(), Some(42.0));
+        assert_eq!(begin.path(&["fields", "site"]).unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn level_gating_respected() {
+        let sink = JsonlSink::to_writer(Box::new(SharedBuf::default()), TraceLevel::Cycles);
+        assert!(sink.wants(TraceLevel::Cycles));
+        assert!(!sink.wants(TraceLevel::Decisions));
+        assert!(!sink.wants(TraceLevel::All));
+    }
+}

@@ -1,0 +1,44 @@
+//! Runtime telemetry for the simulation stack.
+//!
+//! The design goal is *zero cost when disabled*: every instrumented call
+//! site in the engine/scheduler hot paths is guarded by a boolean cached
+//! at construction time (`Recorder::wants(level)`), so a run without a
+//! sink pays one predictable branch per site — no virtual dispatch, no
+//! allocation, no formatting. The `golden_determinism` suite and the
+//! `BENCH_throughput.json` baseline pin this down.
+//!
+//! Layers:
+//!
+//! - [`Recorder`] — the trait the engines talk to. Span begin/end,
+//!   instant events, gauges, monotonic counters and histogram samples,
+//!   plus a periodic [`Progress`] snapshot for the stderr ticker.
+//! - [`NullRecorder`] / [`NULL`] — the no-op implementation; `wants`
+//!   returns `false` for every level so guarded sites never fire.
+//! - [`JsonlSink`] — one self-contained JSON object per line; each line
+//!   is formatted into a private buffer and written with a single
+//!   `write_all` under a mutex, so concurrent replicated runs never
+//!   interleave partial lines.
+//! - [`ChromeTraceSink`] — Chrome `trace_event` JSON array loadable in
+//!   Perfetto / `chrome://tracing`; dispatch spans become async `b`/`e`
+//!   pairs, markers become instant events, gauges become counter tracks.
+//! - [`StderrProgress`] — wraps any recorder (or nothing) and renders
+//!   the [`Progress`] snapshots as a throttled one-line stderr ticker.
+//! - [`TelemetrySummary`] — end-of-run counter totals and histogram
+//!   quantiles, attached to `RunResult` when tracing is on.
+//! - [`json`] — a minimal recursive-descent JSON parser (no JSON crate
+//!   is vendored) used by the exporter tests and the throughput
+//!   regression guard.
+
+mod chrome;
+mod fmt;
+pub mod json;
+mod jsonl;
+mod progress;
+mod recorder;
+mod stats;
+
+pub use chrome::ChromeTraceSink;
+pub use jsonl::JsonlSink;
+pub use progress::StderrProgress;
+pub use recorder::{Fields, NullRecorder, Progress, Recorder, TraceLevel, Value, NULL};
+pub use stats::{CounterTotal, HistogramSummary, StatsCore, TelemetrySummary};

@@ -1,0 +1,143 @@
+//! Live stderr progress ticker.
+//!
+//! `StderrProgress` wraps an inner recorder (possibly the no-op one) and
+//! adds `wants_progress() == true`: the platform engine then emits a
+//! [`Progress`] snapshot on every tick event, and this wrapper throttles
+//! rendering to at most one stderr line per interval of *wall* time so
+//! fast runs don't drown the terminal.
+
+use crate::recorder::{Fields, Progress, Recorder, TraceLevel};
+use crate::stats::TelemetrySummary;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+pub struct StderrProgress {
+    inner: Arc<dyn Recorder>,
+    every: Duration,
+    last: Mutex<Option<Instant>>,
+}
+
+impl StderrProgress {
+    /// Wrap `inner`, printing at most one line per `every` of wall time.
+    pub fn wrap(inner: Arc<dyn Recorder>, every: Duration) -> Self {
+        StderrProgress {
+            inner,
+            every,
+            last: Mutex::new(None),
+        }
+    }
+
+    /// Progress-only recorder: no trace sink, just the stderr ticker.
+    pub fn bare() -> Self {
+        Self::wrap(
+            Arc::new(crate::recorder::NullRecorder),
+            Duration::from_millis(500),
+        )
+    }
+
+    fn should_print(&self) -> bool {
+        let mut last = self.last.lock().expect("progress throttle lock");
+        let now = Instant::now();
+        match *last {
+            Some(prev) if now.duration_since(prev) < self.every => false,
+            _ => {
+                *last = Some(now);
+                true
+            }
+        }
+    }
+
+    fn render(p: &Progress) {
+        let pct = if p.total > 0 {
+            100.0 * p.done as f64 / p.total as f64
+        } else {
+            0.0
+        };
+        let success = if p.done > 0 {
+            100.0 * p.met as f64 / p.done as f64
+        } else {
+            0.0
+        };
+        let eps = if p.wall_s > 0.0 {
+            p.events as f64 / p.wall_s
+        } else {
+            0.0
+        };
+        eprintln!(
+            "[t={:>8.2}s] tasks {}/{} ({:.0}%)  met {:.1}%  energy {:.0} J  {:.0} ev/s",
+            p.sim_time, p.done, p.total, pct, success, p.energy, eps
+        );
+    }
+}
+
+impl Recorder for StderrProgress {
+    fn wants(&self, level: TraceLevel) -> bool {
+        self.inner.wants(level)
+    }
+
+    fn wants_progress(&self) -> bool {
+        true
+    }
+
+    fn event(&self, name: &str, t: f64, track: u32, fields: Fields<'_>) {
+        self.inner.event(name, t, track, fields);
+    }
+
+    fn span_begin(&self, name: &str, id: u64, t: f64, track: u32, fields: Fields<'_>) {
+        self.inner.span_begin(name, id, t, track, fields);
+    }
+
+    fn span_end(&self, name: &str, id: u64, t: f64, track: u32) {
+        self.inner.span_end(name, id, t, track);
+    }
+
+    fn gauge(&self, name: &str, t: f64, value: f64) {
+        self.inner.gauge(name, t, value);
+    }
+
+    fn counter_add(&self, name: &'static str, delta: u64) {
+        self.inner.counter_add(name, delta);
+    }
+
+    fn histogram(&self, name: &'static str, value: f64) {
+        self.inner.histogram(name, value);
+    }
+
+    fn progress(&self, p: &Progress) {
+        if self.should_print() {
+            Self::render(p);
+        }
+    }
+
+    fn summary(&self) -> Option<TelemetrySummary> {
+        self.inner.summary()
+    }
+
+    fn finish(&self) {
+        self.inner.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_wrapper_wants_progress_but_no_levels() {
+        let p = StderrProgress::bare();
+        assert!(p.wants_progress());
+        assert!(!p.wants(TraceLevel::Cycles));
+        assert!(p.summary().is_none());
+    }
+
+    #[test]
+    fn throttle_admits_first_and_blocks_burst() {
+        let p = StderrProgress::wrap(
+            Arc::new(crate::recorder::NullRecorder),
+            Duration::from_secs(3600),
+        );
+        assert!(p.should_print());
+        assert!(!p.should_print());
+        assert!(!p.should_print());
+    }
+}
