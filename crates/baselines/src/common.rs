@@ -162,7 +162,7 @@ pub fn dispatch_least_loaded(
                 .max_by(|a, b| {
                     let ca = a.raw_speed() / (a.queue_len() + ledger.claimed(a.addr()) + 1) as f64;
                     let cb = b.raw_speed() / (b.queue_len() + ledger.claimed(b.addr()) + 1) as f64;
-                    ca.partial_cmp(&cb).expect("capacities are finite")
+                    ca.total_cmp(&cb)
                 });
             match target {
                 Some(n) => {

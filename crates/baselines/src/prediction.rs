@@ -178,11 +178,9 @@ impl Scheduler for PredictionBased {
                     })
                     .collect();
                 candidates.sort_by(|a, b| {
-                    b.queue_len().cmp(&a.queue_len()).then(
-                        b.utilisation()
-                            .partial_cmp(&a.utilisation())
-                            .expect("finite"),
-                    )
+                    b.queue_len()
+                        .cmp(&a.queue_len())
+                        .then(b.utilisation().total_cmp(&a.utilisation()))
                 });
                 let mut chosen = None;
                 let mut best_fallback: Option<(f64, usize)> = None;

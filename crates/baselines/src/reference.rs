@@ -127,9 +127,9 @@ impl Scheduler for GreedyEdf {
                             && n.available_processors() >= group.len()
                     })
                     .max_by(|a, b| {
-                        a.processing_capacity()
-                            .partial_cmp(&b.processing_capacity())
-                            .expect("capacities are finite")
+                        // total_cmp: a NaN capacity must not panic the
+                        // dispatch path mid-run.
+                        a.processing_capacity().total_cmp(&b.processing_capacity())
                     });
                 match target {
                     Some(n) => {

@@ -57,7 +57,7 @@ impl QTable {
         let row = &self.q[s * self.actions..(s + 1) * self.actions];
         row.iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("costs are finite"))
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
             .map(|(i, _)| i)
             .expect("actions > 0")
     }

@@ -214,7 +214,8 @@ fn summary_block(r: &RunResult) -> String {
 
 /// `arls simulate`.
 pub fn simulate(args: &Args) -> Result<String, CmdError> {
-    let sc = scenario_from(args)?;
+    let mut sc = scenario_from(args)?;
+    sc.exec.audit = args.has("audit");
     let kind = scheduler_from(args)?;
     let rec = recorder_from(args)?;
     let r = match &rec {
@@ -236,6 +237,23 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
         sc.seed
     ));
     out.push_str(&summary_block(&r));
+    if sc.exec.audit {
+        let report = r.audit.as_ref().expect("audit was requested");
+        if !report.is_clean() {
+            return Err(CmdError::Other(format!(
+                "correctness audit FAILED:\n{}",
+                report.render()
+            )));
+        }
+        // Replay determinism: an identical second run must reproduce the
+        // result bit-for-bit (the recorder is left off — telemetry is not
+        // part of the replay contract).
+        let replay = runner::run_scenario(&sc, &kind);
+        if let Some(d) = platform::replay_divergence(&r, &replay) {
+            return Err(CmdError::Other(format!("replay audit FAILED: {d}")));
+        }
+        out.push_str(&format!("{}\nreplay: bit-identical\n", report.render()));
+    }
     if args.has("csv") {
         out.push_str("\ntask,site,node,arrival,started,finished,deadline,met,outcome,attempts\n");
         for rec in &r.records {
@@ -431,6 +449,56 @@ mod tests {
     }
 
     #[test]
+    fn simulate_audit_reports_clean_and_is_inert() {
+        let line = [
+            "simulate",
+            "--tasks",
+            "90",
+            "--offered",
+            "0.6",
+            "--seed",
+            "7",
+        ];
+        let plain = simulate(&parse(&line)).expect("plain");
+        let mut audited_line = line.to_vec();
+        audited_line.push("--audit");
+        let audited = simulate(&parse(&audited_line)).expect("audited");
+        assert!(
+            audited.contains("audit:"),
+            "missing audit line in {audited}"
+        );
+        assert!(audited.contains("clean"), "audit not clean: {audited}");
+        assert!(audited.contains("replay: bit-identical"));
+        // The oracle is a pure observer: the summary itself is unchanged.
+        assert!(
+            audited.starts_with(&plain),
+            "audit perturbed the summary:\n{audited}\nvs\n{plain}"
+        );
+    }
+
+    #[test]
+    fn simulate_audit_composes_with_faults() {
+        let out = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "120",
+            "--offered",
+            "0.6",
+            "--seed",
+            "11",
+            "--audit",
+            "--faults",
+            "--fault-node-mtbf",
+            "120",
+            "--fault-node-mttr",
+            "30",
+        ]))
+        .expect("audited fault run");
+        assert!(out.contains("faults:"));
+        assert!(out.contains("clean"), "audit not clean: {out}");
+    }
+
+    #[test]
     fn simulate_csv_dumps_records() {
         let out = simulate(&parse(&[
             "simulate",
@@ -487,7 +555,9 @@ mod tests {
     fn trace_round_trip_through_files() {
         let dir = std::env::temp_dir();
         let path = dir.join("arls_cli_trace_test.bin");
-        let path_str = path.to_str().unwrap().to_string();
+        // to_string_lossy, not to_str().unwrap(): a non-UTF-8 temp dir
+        // must not abort the suite before the assertion messages print.
+        let path_str = path.to_string_lossy().into_owned();
         let gen = trace(&parse(&[
             "trace", "generate", "--tasks", "60", "--seed", "9", "--out", &path_str,
         ]))
@@ -597,7 +667,7 @@ mod tests {
     fn temp_trace(name: &str) -> (std::path::PathBuf, String) {
         let path =
             std::env::temp_dir().join(format!("arls_cli_{name}_{}.json", std::process::id()));
-        let s = path.to_str().unwrap().to_string();
+        let s = path.to_string_lossy().into_owned();
         (path, s)
     }
 
@@ -701,7 +771,7 @@ mod tests {
     fn trace_run_accepts_a_recorder() {
         let dir = std::env::temp_dir();
         let bin = dir.join(format!("arls_cli_rerun_{}.bin", std::process::id()));
-        let bin_str = bin.to_str().unwrap().to_string();
+        let bin_str = bin.to_string_lossy().into_owned();
         trace(&parse(&[
             "trace", "generate", "--tasks", "50", "--seed", "9", "--out", &bin_str,
         ]))

@@ -19,9 +19,13 @@ arls — Adaptive-RL energy-aware scheduling simulator
 
 USAGE:
   arls simulate [--scheduler S] [--tasks N] [--offered F] [--seed N]
-                [--sites N] [--no-split] [--gating] [--csv] [fault flags]
+                [--sites N] [--no-split] [--gating] [--csv] [--audit]
+                [fault flags]
       run one scenario and print the run summary
       schedulers: adaptive (default), online, qplus, prediction, rr, greedy
+      --audit runs the correctness oracle alongside the simulation
+      (conservation invariants, shadow energy accounting, replay check)
+      and exits non-zero on any violation
 
   fault flags (simulate, compare, trace generate):
       --faults                 enable fault injection (needs a source below)

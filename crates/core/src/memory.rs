@@ -70,7 +70,7 @@ impl SharedLearningMemory {
             .iter()
             .flatten()
             .copied()
-            .max_by(|a, b| a.l_val.partial_cmp(&b.l_val).expect("l_val is finite"))
+            .max_by(|a, b| a.l_val.total_cmp(&b.l_val))
     }
 
     /// The best experience of a single agent (used when shared access is
@@ -79,7 +79,7 @@ impl SharedLearningMemory {
         self.rings[agent as usize]
             .iter()
             .copied()
-            .max_by(|a, b| a.l_val.partial_cmp(&b.l_val).expect("l_val is finite"))
+            .max_by(|a, b| a.l_val.total_cmp(&b.l_val))
     }
 
     /// Number of experiences currently held for `agent`.
@@ -159,6 +159,22 @@ mod tests {
         assert!(m.best_of(1).is_none());
         assert_eq!(m.len(), 0);
         assert_eq!(m.depth(), 5);
+    }
+
+    #[test]
+    fn nan_learning_value_never_panics_selection() {
+        // Regression: `max_by(partial_cmp().unwrap())` used to panic the
+        // whole run when a diverged learner produced a NaN value. With
+        // `total_cmp`, NaN sorts greatest — a poisoned experience wins the
+        // query visibly instead of aborting mid-simulation.
+        let mut m = SharedLearningMemory::new(2, 15);
+        m.record(exp(0, 2, 3.0, 1));
+        m.record(exp(1, 4, f64::NAN, 2));
+        m.record(exp(1, 5, 7.0, 3));
+        let best = m.best_shared().expect("selection must not panic");
+        assert!(best.l_val.is_nan());
+        assert!(m.best_of(0).unwrap().l_val == 3.0);
+        assert!(m.best_of(1).unwrap().l_val.is_nan());
     }
 
     #[test]

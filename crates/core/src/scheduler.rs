@@ -234,17 +234,13 @@ impl AdaptiveRl {
                     // (no-op at penalty 0 or full availability).
                     let c = n.processing_capacity() * (1.0 - avail_pen(&n)).max(0.0);
                     match best {
-                        Some((_, bc))
-                            if c.partial_cmp(&bc).expect("capacities are finite")
-                                == Ordering::Less => {}
+                        Some((_, bc)) if c.total_cmp(&bc) == Ordering::Less => {}
                         _ => best = Some((n.addr(), c)),
                     }
                 } else {
                     let e = (1.0 - n.processing_capacity() / pw).abs() + avail_pen(&n);
                     match best {
-                        Some((_, be))
-                            if e.partial_cmp(&be).expect("errors are finite") != Ordering::Less => {
-                        }
+                        Some((_, be)) if e.total_cmp(&be) != Ordering::Less => {}
                         _ => best = Some((n.addr(), e)),
                     }
                 }

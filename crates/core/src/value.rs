@@ -57,11 +57,7 @@ impl ValueEstimator {
         assert!(!candidates.is_empty(), "need at least one candidate action");
         *candidates
             .iter()
-            .max_by(|a, b| {
-                self.predict(obs, **a)
-                    .partial_cmp(&self.predict(obs, **b))
-                    .expect("predictions are finite")
-            })
+            .max_by(|a, b| self.predict(obs, **a).total_cmp(&self.predict(obs, **b)))
             .expect("non-empty")
     }
 

@@ -7,8 +7,9 @@
 //! run twice, once vanilla and once with the degradation-aware placement
 //! penalty, to show what the availability signal buys.
 //!
-//! `ARL_QUICK=1` reduces the run. Fully seeded: repeated invocations print
-//! the same table.
+//! `ARL_QUICK=1` reduces the run. `--audit` runs every cell under the
+//! correctness oracle and exits non-zero on any invariant violation.
+//! Fully seeded: repeated invocations print the same table.
 
 use adaptive_rl::AdaptiveRlConfig;
 use experiments::{runner, Scenario, SchedulerKind};
@@ -42,6 +43,7 @@ fn spec_for(node_mtbf: f64) -> FaultSpec {
 
 fn main() {
     let quick = std::env::var("ARL_QUICK").is_ok();
+    let audit = std::env::args().any(|a| a == "--audit");
     let (tasks, offered, seed) = if quick {
         (400, 0.7, 2011)
     } else {
@@ -67,9 +69,12 @@ fn main() {
         "{:<10} {:<32} {:>7} {:>8} {:>8} {:>8} {:>9} {:>8}",
         "intensity", "scheduler", "hit%", "failed%", "ECS(M)", "faults", "preempts", "retries"
     );
+    let mut audited_runs = 0u32;
+    let mut dirty = false;
     for &(label, node_mtbf) in LEVELS {
         let mut sc = Scenario::new(seed, tasks, offered);
         sc.exec.faults = spec_for(node_mtbf);
+        sc.exec.audit = audit;
         for (name, kind) in &schedulers {
             let r = runner::run_scenario(&sc, kind);
             assert_eq!(
@@ -77,6 +82,16 @@ fn main() {
                 "{name} lost tasks at intensity {label}: every task must \
                  end met, missed or failed"
             );
+            if let Some(report) = &r.audit {
+                audited_runs += 1;
+                if !report.is_clean() {
+                    dirty = true;
+                    eprintln!(
+                        "AUDIT FAILED: {name} at intensity {label}:\n{}",
+                        report.render()
+                    );
+                }
+            }
             println!(
                 "{:<10} {:<32} {:>6.1}% {:>7.1}% {:>8.3} {:>8} {:>9} {:>8}",
                 label,
@@ -90,5 +105,12 @@ fn main() {
             );
         }
         println!();
+    }
+    if audit {
+        if dirty {
+            eprintln!("audit: violations found (see above)");
+            std::process::exit(1);
+        }
+        println!("audit: {audited_runs} runs, all clean");
     }
 }

@@ -1,0 +1,224 @@
+//! Correctness-oracle integration tests.
+//!
+//! Three layers of assurance:
+//!
+//! 1. **Clean audits** — every scheduler, with fault injection off and on,
+//!    runs under the full invariant oracle and must produce zero
+//!    violations. The oracle cross-checks task conservation, the shadow
+//!    energy/time state machine, queue/capacity bounds and the final
+//!    `RunResult` bookkeeping, so this is the strongest end-to-end check
+//!    the suite has.
+//! 2. **Observer property** — enabling the audit must not perturb the
+//!    simulation: the audited run's metrics are bit-identical to the
+//!    unaudited run's.
+//! 3. **Mutation catches** — deliberately corrupted results must be
+//!    flagged. An oracle that cannot reject seeded bugs proves nothing.
+
+use experiments::{runner, Scenario, SchedulerKind};
+use platform::{audit_result, replay_divergence, FaultSpec, RunResult};
+
+/// Mirror of the golden-determinism scenario: 3 sites × 4–6 nodes × 4–6
+/// procs, 250 tasks at 70 % offered load — large enough to exercise
+/// grouping, splits, sleep/wake, queue pressure and (with faults) retries.
+fn scenario(faults: bool, audit: bool) -> Scenario {
+    let mut sc = Scenario::new(0xD5, 250, 0.7);
+    sc.platform = platform::PlatformSpec {
+        num_sites: 3,
+        nodes_per_site: (4, 6),
+        procs_per_node: (4, 6),
+        ..platform::PlatformSpec::paper(3)
+    };
+    sc.exec.audit = audit;
+    if faults {
+        sc.exec.faults = FaultSpec {
+            enabled: true,
+            proc_mtbf: 400.0,
+            proc_mttr: 50.0,
+            node_mtbf: 2000.0,
+            node_mttr: 100.0,
+            permanent_fraction: 0.1,
+            max_retries: 3,
+            horizon: 1500.0,
+            seed: 0xFA17,
+        };
+    }
+    sc
+}
+
+/// Runs one audited scenario and panics with the rendered report on any
+/// violation.
+fn assert_clean(kind: &SchedulerKind, faults: bool) -> RunResult {
+    let r = runner::run_scenario(&scenario(faults, true), kind);
+    let report = r
+        .audit
+        .as_ref()
+        .unwrap_or_else(|| panic!("{} (faults={faults}): audit missing", kind.label()));
+    assert!(
+        report.is_clean(),
+        "{} (faults={faults}) violated invariants:\n{}",
+        kind.label(),
+        report.render()
+    );
+    assert!(report.checks > 0, "audit ran no checks");
+    assert!(report.events > 0, "audit saw no events");
+    r
+}
+
+#[test]
+fn all_schedulers_audit_clean_without_faults() {
+    for kind in SchedulerKind::all_six() {
+        assert_clean(&kind, false);
+    }
+}
+
+#[test]
+fn all_schedulers_audit_clean_with_faults() {
+    for kind in SchedulerKind::all_six() {
+        assert_clean(&kind, true);
+    }
+}
+
+/// The oracle is strictly observing: audited and unaudited runs of the
+/// same scenario must agree bit-for-bit on every metric.
+#[test]
+fn audit_is_a_pure_observer() {
+    for faults in [false, true] {
+        for kind in SchedulerKind::all_six() {
+            let plain = runner::run_scenario(&scenario(faults, false), &kind);
+            let mut audited = runner::run_scenario(&scenario(faults, true), &kind);
+            audited.audit = None;
+            if let Some(d) = replay_divergence(&plain, &audited) {
+                panic!(
+                    "{} (faults={faults}): audit perturbed the run: {d}",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+/// Re-running the identical scenario must reproduce the result exactly
+/// (replay determinism — the property the audit flag relies on).
+#[test]
+fn replay_is_bit_identical() {
+    for faults in [false, true] {
+        for kind in SchedulerKind::all_six() {
+            let a = runner::run_scenario(&scenario(faults, false), &kind);
+            let b = runner::run_scenario(&scenario(faults, false), &kind);
+            if let Some(d) = replay_divergence(&a, &b) {
+                panic!("{} (faults={faults}): replay diverged: {d}", kind.label());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutation catches: seed an accounting bug into a clean result and the
+// post-hoc auditor must name the broken invariant.
+// ---------------------------------------------------------------------
+
+fn clean_result() -> RunResult {
+    let mut r = runner::run_scenario(&scenario(true, false), &SchedulerKind::GreedyEdf);
+    assert!(!r.records.is_empty(), "mutation base needs records");
+    assert!(!r.cycles.is_empty(), "mutation base needs cycle samples");
+    r.audit = None;
+    r
+}
+
+/// Asserts that `audit_result` on the mutated run flags `invariant`.
+fn assert_caught(r: &RunResult, invariant: &str) {
+    let rep = audit_result(r);
+    assert!(
+        rep.violations.iter().any(|v| v.invariant == invariant),
+        "expected a {invariant} violation, got:\n{}",
+        rep.render()
+    );
+}
+
+#[test]
+fn clean_result_passes_post_hoc_audit() {
+    let rep = audit_result(&clean_result());
+    assert!(rep.is_clean(), "baseline not clean:\n{}", rep.render());
+}
+
+#[test]
+fn mutation_dropped_record_is_caught() {
+    let mut r = clean_result();
+    r.records.pop();
+    assert_caught(&r, "task.conservation");
+}
+
+#[test]
+fn mutation_lost_task_is_caught() {
+    let mut r = clean_result();
+    r.records.pop();
+    r.incomplete += 1;
+    assert_caught(&r, "task.none-lost");
+}
+
+#[test]
+fn mutation_duplicated_record_is_caught() {
+    let mut r = clean_result();
+    let dup = r.records[0];
+    r.records.push(dup);
+    r.num_tasks += 1; // keep conservation satisfied; the dup itself must trip
+    assert_caught(&r, "task.single-record");
+}
+
+#[test]
+fn mutation_flipped_met_flag_is_caught() {
+    let mut r = clean_result();
+    r.records[0].met = !r.records[0].met;
+    assert_caught(&r, "record.met-flag");
+}
+
+#[test]
+fn mutation_failed_counter_drift_is_caught() {
+    let mut r = clean_result();
+    r.tasks_failed += 1;
+    assert_caught(&r, "task.failed-counter");
+}
+
+#[test]
+fn mutation_causality_break_is_caught() {
+    let mut r = clean_result();
+    let rec = &mut r.records[0];
+    // Dispatch after the start: the timeline runs backwards.
+    rec.dispatched = simcore::SimTime::new(rec.finished.as_f64() + 1.0);
+    assert_caught(&r, "record.causality");
+}
+
+#[test]
+fn mutation_nan_energy_is_caught() {
+    let mut r = clean_result();
+    r.total_energy = f64::NAN;
+    assert_caught(&r, "metric.finite-energy");
+}
+
+#[test]
+fn mutation_makespan_drift_is_caught() {
+    let mut r = clean_result();
+    r.makespan *= 1.5;
+    assert_caught(&r, "record.makespan");
+}
+
+#[test]
+fn mutation_group_leak_is_caught() {
+    let mut r = clean_result();
+    r.groups_dispatched += 1;
+    assert_caught(&r, "group.conservation");
+}
+
+#[test]
+fn mutation_cycle_reorder_is_caught() {
+    let mut r = clean_result();
+    r.cycles.reverse();
+    assert_caught(&r, "cycles.monotone");
+}
+
+#[test]
+fn mutation_missing_cycle_is_caught() {
+    let mut r = clean_result();
+    r.cycles.pop();
+    assert_caught(&r, "cycles.one-per-group");
+}

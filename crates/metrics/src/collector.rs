@@ -409,7 +409,7 @@ mod tests {
         let mut shrunk = r.clone();
         let mut finish_times: Vec<f64> =
             shrunk.records.iter().map(|x| x.finished.as_f64()).collect();
-        finish_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        finish_times.sort_by(|a, b| a.total_cmp(b));
         shrunk.arrival_horizon = finish_times[finish_times.len() / 2];
         let windowed = response_time_quantile(&shrunk, 1.0).expect("windowed quantile");
         let max_in_window = shrunk

@@ -11,7 +11,7 @@ pub fn series_to_csv(series: &[Series]) -> String {
         .iter()
         .flat_map(|s| s.points.iter().map(|p| p.x))
         .collect();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("x is finite"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     xs.dedup();
 
     let mut out = String::from("x");

@@ -64,7 +64,7 @@ impl FigureReport {
                 .iter()
                 .flat_map(|s| s.points.iter().map(|p| p.x))
                 .collect();
-            xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            xs.sort_by(|a, b| a.total_cmp(b));
             xs.dedup();
             xs
         };

@@ -19,6 +19,7 @@
 use crate::fault::{FaultPlan, FaultSpec, FaultTarget, PlannedFault};
 use crate::group::{GroupId, TaskGroup};
 use crate::ids::{NodeAddr, ProcAddr};
+use crate::oracle::{AuditReport, Oracle, RunTotals};
 use crate::queue::QueuedGroup;
 use crate::scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler};
 use crate::topology::{Platform, PlatformSpec};
@@ -46,6 +47,12 @@ pub struct ExecConfig {
     /// false` the engine draws no fault randomness and behaves exactly as
     /// it did before the fault subsystem existed.
     pub faults: FaultSpec,
+    /// Run the correctness [`Oracle`] alongside the simulation and attach
+    /// its [`AuditReport`] to the result. Strictly observing — scheduling
+    /// decisions, RNG draws and metric values are bit-identical with the
+    /// audit on or off — but costs roughly a shadow state machine per
+    /// processor, so it defaults to off.
+    pub audit: bool,
 }
 
 impl Default for ExecConfig {
@@ -56,6 +63,7 @@ impl Default for ExecConfig {
             fuse: 50_000_000,
             max_time: 1.0e7,
             faults: FaultSpec::default(),
+            audit: false,
         }
     }
 }
@@ -205,6 +213,9 @@ pub struct RunResult {
     /// Counter totals and histogram quantiles accumulated by the run's
     /// telemetry recorder. `None` on untraced runs.
     pub telemetry: Option<TelemetrySummary>,
+    /// The correctness oracle's findings. `None` unless the run was
+    /// executed with [`ExecConfig::audit`] set.
+    pub audit: Option<AuditReport>,
 }
 
 impl RunResult {
@@ -330,6 +341,16 @@ struct Driver<'s, S: Scheduler> {
     met_count: usize,
     /// First flat node-track index per site (Chrome-trace `tid`s).
     node_track: Vec<u32>,
+    /// The correctness oracle, when the run is audited (strictly
+    /// observing; `None` keeps the hot path a single branch per hook).
+    oracle: Option<Box<Oracle>>,
+    /// Instant the run settled: every task resolved (completed or
+    /// failed). Events after this are frozen — they must not disturb the
+    /// platform's accounting — and the energy/utilisation horizon reads
+    /// here when it exceeds the makespan (processors still draw power
+    /// between the last completion and settlement, e.g. a failure path
+    /// abandoning its final task after the last completion).
+    settled_at: SimTime,
 }
 
 impl<S: Scheduler> Driver<'_, S> {
@@ -428,6 +449,9 @@ impl<S: Scheduler> Driver<'_, S> {
                                 break;
                             }
                             if let Some(until) = self.platform.begin_wake_proc(addr, i, now) {
+                                if let Some(o) = self.oracle.as_mut() {
+                                    o.on_wake_begin(base + i, now);
+                                }
                                 out.push((
                                     until,
                                     Ev::WakeDone(
@@ -499,6 +523,12 @@ impl<S: Scheduler> Driver<'_, S> {
                     group_id,
                     task.size_mi,
                 );
+                if self.oracle.is_some() {
+                    let throttle = self.platform.node(addr).throttle;
+                    if let Some(o) = self.oracle.as_mut() {
+                        o.on_start(task.id, group_id, base + proc_idx, throttle, now);
+                    }
+                }
                 out.push((
                     finish,
                     Ev::TaskDone(
@@ -570,6 +600,16 @@ impl<S: Scheduler> Driver<'_, S> {
                         p.group = Some(gid);
                         p.dispatched = Some(now);
                     }
+                    if self.oracle.is_some() {
+                        let node = self.platform.node(addr);
+                        // Queue length *after* the push below succeeds.
+                        let qlen = node.queue.len() + 1;
+                        let qcap = node.queue.capacity();
+                        let avail = node.available_processors();
+                        if let Some(o) = self.oracle.as_mut() {
+                            o.on_dispatch(gid, &group.tasks, qlen, qcap, avail, now);
+                        }
+                    }
                     let size = group.len();
                     let mut qg = QueuedGroup::new(group, now);
                     qg.assign_error = error;
@@ -623,13 +663,22 @@ impl<S: Scheduler> Driver<'_, S> {
                     self.platform.set_throttle(node, level);
                 }
                 Command::Sleep(p) => {
-                    self.platform.sleep_proc(p.node, p.proc as usize, now);
+                    let slept = self.platform.sleep_proc(p.node, p.proc as usize, now);
+                    if slept && self.oracle.is_some() {
+                        let flat = self.pidx(p);
+                        if let Some(o) = self.oracle.as_mut() {
+                            o.on_proc_sleep(flat, now);
+                        }
+                    }
                 }
                 Command::Wake(p) => {
                     if let Some(until) = self.platform.begin_wake_proc(p.node, p.proc as usize, now)
                     {
-                        let epoch = self.epochs[self.pidx(p)];
-                        out.push((until, Ev::WakeDone(p, epoch)));
+                        let flat = self.pidx(p);
+                        if let Some(o) = self.oracle.as_mut() {
+                            o.on_wake_begin(flat, now);
+                        }
+                        out.push((until, Ev::WakeDone(p, self.epochs[flat])));
                     }
                 }
             }
@@ -658,6 +707,9 @@ impl<S: Scheduler> Driver<'_, S> {
             .platform
             .remove_group(addr, group_id)
             .expect("group present");
+        if let Some(o) = self.oracle.as_mut() {
+            o.on_group_complete(group_id, now);
+        }
         self.groups_completed += 1;
         self.cycle += 1;
         self.cycles.push(CycleSample {
@@ -717,13 +769,17 @@ impl<S: Scheduler> Driver<'_, S> {
         now: SimTime,
         out: &mut Vec<(SimTime, Ev)>,
     ) {
-        if self.epochs[self.pidx(proc)] != epoch {
+        let flat = self.pidx(proc);
+        if self.epochs[flat] != epoch {
             // The processor failed after this completion was scheduled; the
             // running task was preempted and the event is stale.
             return;
         }
         let addr = proc.node;
         let (task_id, group_id) = self.platform.finish_task_on(addr, proc.proc as usize, now);
+        if let Some(o) = self.oracle.as_mut() {
+            o.on_finish(task_id, flat, now);
+        }
         let task = self.tasks[task_id.0 as usize];
         let met = now <= task.deadline;
         {
@@ -737,6 +793,9 @@ impl<S: Scheduler> Driver<'_, S> {
         self.completed += 1;
         if met {
             self.met_count += 1;
+        }
+        if self.resolved() == self.tasks.len() {
+            self.settled_at = now;
         }
         self.last_completion = now;
         if self.t_cyc {
@@ -776,6 +835,12 @@ impl<S: Scheduler> Driver<'_, S> {
         debug_assert!(p.finished.is_none() && p.failed_at.is_none());
         p.failed_at = Some(now);
         self.failed_tasks += 1;
+        if let Some(o) = self.oracle.as_mut() {
+            o.on_give_up(task_id, now);
+        }
+        if self.resolved() == self.tasks.len() {
+            self.settled_at = now;
+        }
         if self.t_cyc {
             self.rec.counter_add("tasks.failed", 1);
         }
@@ -861,6 +926,9 @@ impl<S: Scheduler> Driver<'_, S> {
             }
             self.epochs[flat] = self.epochs[flat].wrapping_add(1);
             let preempted = self.platform.fail_proc(addr, pi, now);
+            if let Some(o) = self.oracle.as_mut() {
+                o.on_proc_fail(flat, now);
+            }
             if let Some((task_id, group_id)) = preempted {
                 self.preemptions += 1;
                 if self.t_cyc {
@@ -875,6 +943,9 @@ impl<S: Scheduler> Driver<'_, S> {
                         .expect("running group is queued");
                     g.running -= 1;
                     g.lost += 1;
+                }
+                if let Some(o) = self.oracle.as_mut() {
+                    o.on_preempt(task_id, now);
                 }
                 let p = &mut self.partials[task_id.0 as usize];
                 p.started = None;
@@ -972,6 +1043,9 @@ impl<S: Scheduler> Driver<'_, S> {
             .platform
             .remove_group(addr, gid)
             .expect("aborting a queued group");
+        if let Some(o) = self.oracle.as_mut() {
+            o.on_group_abort(gid, now);
+        }
         for t in &qg.group.tasks {
             let p = &mut self.partials[t.id.0 as usize];
             // Finished members keep their records; members the preemption
@@ -983,6 +1057,9 @@ impl<S: Scheduler> Driver<'_, S> {
                 p.started = None;
                 p.split = false;
                 orphans.push(t.id);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.on_detach(t.id, now);
+                }
             }
         }
         self.groups_aborted += 1;
@@ -1079,6 +1156,9 @@ impl<S: Scheduler> Driver<'_, S> {
             }
             if self.platform.node(addr).processors[pi].is_failed() {
                 self.platform.recover_proc(addr, pi, now);
+                if let Some(o) = self.oracle.as_mut() {
+                    o.on_proc_recover(flat, now);
+                }
                 any = true;
             }
         }
@@ -1118,6 +1198,9 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
             return false;
         }
         self.events_seen += 1;
+        if let Some(o) = self.oracle.as_mut() {
+            o.on_event(now);
+        }
         // One reusable buffer for the whole event — handlers append, the
         // tail loop schedules, and the (cleared) capacity carries over to
         // the next event instead of reallocating.
@@ -1126,6 +1209,9 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
         match event {
             Ev::Arrival(idx) => {
                 let task = self.tasks[idx as usize];
+                if let Some(o) = self.oracle.as_mut() {
+                    o.on_arrival(task.id, now);
+                }
                 if self.cfg.faults.enabled && self.site_perm_procs[task.site.0 as usize] == 0 {
                     // The site permanently lost every processor before this
                     // task arrived: nothing can ever run it.
@@ -1137,31 +1223,53 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
             }
             Ev::TaskDone(proc, epoch) => self.handle_task_done(proc, epoch, now, &mut out),
             Ev::WakeDone(proc, epoch) => {
-                if self.epochs[self.pidx(proc)] != epoch {
-                    // The processor failed mid-wake; the transition never
-                    // completes.
+                let settled = !self.tasks.is_empty() && self.resolved() == self.tasks.len();
+                if self.epochs[self.pidx(proc)] != epoch || settled {
+                    // The processor failed mid-wake (stale epoch), or the
+                    // run already settled: freeze the transition. The
+                    // energy horizon reads at settlement, and applying
+                    // post-settlement transitions would fold the interval
+                    // beyond it back into the accumulators (`SimTime::
+                    // since` saturates, so `energy_at(horizon)` after a
+                    // later transition overcounts the tail).
                 } else {
                     self.platform
                         .finish_wake_proc(proc.node, proc.proc as usize, now);
+                    if self.oracle.is_some() {
+                        let flat = self.pidx(proc);
+                        if let Some(o) = self.oracle.as_mut() {
+                            o.on_wake_end(flat, now);
+                        }
+                    }
                     self.start_ready(proc.node, now, &mut out);
                 }
             }
             Ev::Fault(idx) => self.handle_fault(idx as usize, now, &mut out),
             Ev::Recover(idx) => self.handle_recover(idx as usize, now, &mut out),
             Ev::Tick => {
-                let cmds = {
-                    let view = PlatformView::new(&self.platform, now);
-                    self.sched.on_tick(now, &view)
-                };
-                if !cmds.is_empty() {
-                    self.apply(cmds, now, &mut out);
-                }
-                self.dispatch_round(now, &mut out);
-                if self.progress_on {
-                    self.emit_progress(now);
-                }
-                if self.resolved() < self.tasks.len() {
-                    handle.schedule_in(SimDuration::new(self.cfg.tick_interval), Ev::Tick);
+                let settled = !self.tasks.is_empty() && self.resolved() == self.tasks.len();
+                if !settled {
+                    // Post-settlement ticks are frozen for the same
+                    // accounting reason as wake transitions: an `on_tick`
+                    // sleep/throttle command would settle processors past
+                    // the energy horizon.
+                    let cmds = {
+                        let view = PlatformView::new(&self.platform, now);
+                        self.sched.on_tick(now, &view)
+                    };
+                    if !cmds.is_empty() {
+                        self.apply(cmds, now, &mut out);
+                    }
+                    self.dispatch_round(now, &mut out);
+                    if self.progress_on {
+                        self.emit_progress(now);
+                    }
+                    if let Some(o) = self.oracle.as_mut() {
+                        o.sweep(&self.platform, now);
+                    }
+                    if self.resolved() < self.tasks.len() {
+                        handle.schedule_in(SimDuration::new(self.cfg.tick_interval), Ev::Tick);
+                    }
                 }
             }
         }
@@ -1321,6 +1429,11 @@ impl ExecEngine {
             }
             proc_base.push(bases);
         }
+        let oracle = if self.cfg.audit {
+            Some(Box::new(Oracle::new(&platform, num_tasks)))
+        } else {
+            None
+        };
         let mut driver = Driver {
             platform,
             partials: vec![Partial::default(); num_tasks],
@@ -1358,6 +1471,8 @@ impl ExecEngine {
             events_seen: 0,
             met_count: 0,
             node_track,
+            oracle,
+            settled_at: SimTime::ZERO,
         };
         let mut engine = Engine::new().with_fuse(self.cfg.fuse);
         for (i, t) in driver.tasks.iter().enumerate() {
@@ -1388,6 +1503,34 @@ impl ExecEngine {
         }
 
         let makespan = driver.last_completion;
+        // Energy/utilisation horizon: for a fully resolved run, the later
+        // of the last completion and the settlement instant — a failure
+        // path can abandon its final task *after* the last completion,
+        // and the platform keeps drawing idle power until then. (On an
+        // all-failed run `makespan` is zero but energy was still burned.)
+        // Unresolved runs (`Stopped`/`FuseBlown`) read at the makespan as
+        // before.
+        let resolved_all = !driver.tasks.is_empty() && driver.resolved() == driver.tasks.len();
+        let horizon = if resolved_all {
+            driver.settled_at.max(makespan)
+        } else {
+            makespan
+        };
+        let total_energy = driver.platform.total_energy_at(horizon);
+        let mean_utilisation = driver.platform.mean_utilisation_at(horizon);
+        let audit = driver.oracle.take().map(|o| {
+            let totals = RunTotals {
+                num_tasks,
+                completed: driver.completed,
+                failed: driver.failed_tasks,
+                groups_dispatched: driver.groups_dispatched,
+                groups_completed: driver.groups_completed,
+                groups_aborted: driver.groups_aborted,
+                reported_energy: total_energy,
+                drained: matches!(outcome, RunOutcome::Drained),
+            };
+            o.finalize(&driver.platform, horizon, &totals)
+        });
         let records: Vec<TaskRecord> = driver
             .partials
             .iter()
@@ -1442,13 +1585,13 @@ impl ExecEngine {
             })
             .collect();
         let incomplete = num_tasks - records.len();
-        RunResult {
+        let mut result = RunResult {
             scheduler: name,
             incomplete,
             num_tasks,
             makespan: makespan.as_f64(),
-            total_energy: driver.platform.total_energy_at(makespan),
-            mean_utilisation: driver.platform.mean_utilisation_at(makespan),
+            total_energy,
+            mean_utilisation,
             cycles: driver.cycles,
             groups_dispatched: driver.groups_dispatched,
             groups_completed: driver.groups_completed,
@@ -1468,7 +1611,15 @@ impl ExecEngine {
             outcome: format!("{outcome:?}"),
             events_processed: engine.processed(),
             telemetry: rec.summary(),
+            audit: None,
+        };
+        if let Some(mut report) = audit {
+            // Fold in the record-level post-hoc pass so `--audit` covers
+            // the assembled result too, not just the live run.
+            report.merge(crate::oracle::audit_result(&result));
+            result.audit = Some(report);
         }
+        result
     }
 }
 
@@ -1653,9 +1804,9 @@ mod tests {
                             && n.num_processors() >= group.len()
                     })
                     .max_by(|a, b| {
-                        a.processing_capacity()
-                            .partial_cmp(&b.processing_capacity())
-                            .unwrap()
+                        // total_cmp: a NaN capacity must not panic the
+                        // selection mid-run.
+                        a.processing_capacity().total_cmp(&b.processing_capacity())
                     });
                 match best {
                     Some(n) => {

@@ -21,6 +21,9 @@
 //! * [`scheduler`] — the scheduler trait, commands, feedback signals,
 //! * [`fault`] — deterministic fault-injection plans (processor / node
 //!   failures with recovery),
+//! * [`oracle`] — the correctness oracle: conservation invariants, shadow
+//!   energy accounting, post-hoc result audits and replay-determinism
+//!   checks,
 //! * [`engine`] — the simulation driver producing a [`RunResult`].
 
 #![warn(missing_docs)]
@@ -31,6 +34,7 @@ pub mod group;
 pub mod heterogeneity;
 pub mod ids;
 pub mod node;
+pub mod oracle;
 pub mod power;
 pub mod processor;
 pub mod queue;
@@ -43,6 +47,7 @@ pub use fault::{FaultPlan, FaultSpec, FaultTarget, PlannedFault};
 pub use group::{GroupId, GroupPolicy, TaskGroup};
 pub use ids::{NodeAddr, ProcAddr};
 pub use node::ComputeNode;
+pub use oracle::{audit_result, replay_divergence, AuditReport, Oracle, Violation};
 pub use power::PowerParams;
 pub use processor::{ProcState, Processor};
 pub use scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler};

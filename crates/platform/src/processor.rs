@@ -283,6 +283,31 @@ impl Processor {
         }
     }
 
+    /// Cumulative idle time through `now`, tail-inclusive. Waking time
+    /// accrues here too, mirroring [`Processor::energy_at`]'s bucketing:
+    /// a waking processor is powered but not executing.
+    pub fn idle_time_at(&self, now: SimTime) -> f64 {
+        let dt = now.since(self.last_transition).as_f64();
+        self.idle_time
+            + if matches!(self.state, ProcState::Idle | ProcState::Waking { .. }) {
+                dt
+            } else {
+                0.0
+            }
+    }
+
+    /// Cumulative deep-sleep time through `now`, tail-inclusive.
+    pub fn sleep_time_at(&self, now: SimTime) -> f64 {
+        let dt = now.since(self.last_transition).as_f64();
+        self.sleep_time + if self.is_asleep() { dt } else { 0.0 }
+    }
+
+    /// Cumulative fault downtime through `now`, tail-inclusive.
+    pub fn failed_time_at(&self, now: SimTime) -> f64 {
+        let dt = now.since(self.last_transition).as_f64();
+        self.failed_time + if self.is_failed() { dt } else { 0.0 }
+    }
+
     /// Number of tasks completed on this processor.
     pub fn tasks_executed(&self) -> u64 {
         self.tasks_executed

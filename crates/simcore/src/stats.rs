@@ -140,7 +140,10 @@ pub fn quantile(sample: &[f64], q: f64) -> Option<f64> {
         "quantile must be in [0, 1], got {q}"
     );
     let mut xs = sample.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("sample must not contain NaN"));
+    // total_cmp: a NaN sample sorts to the end instead of panicking the
+    // whole report (quantiles of a poisoned sample are still poisoned,
+    // but visibly — the caller's finiteness checks flag them).
+    xs.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (xs.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -296,6 +299,17 @@ mod tests {
         assert_eq!(quantile(&xs, 1.0), Some(4.0));
         assert_eq!(quantile(&xs, 0.5), Some(2.5));
         assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_survives_nan_sample() {
+        // Regression: sorting with `partial_cmp().unwrap()` panicked on a
+        // NaN observation. `total_cmp` sorts NaN to the end — low
+        // quantiles of a poisoned sample stay usable, high ones are
+        // visibly NaN.
+        let xs = [2.0, f64::NAN, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert!(quantile(&xs, 1.0).unwrap().is_nan());
     }
 
     #[test]

@@ -180,6 +180,41 @@ proptest! {
     }
 
     #[test]
+    fn random_scenarios_pass_the_audit(sc in scenario_strategy(), kind in kind_strategy()) {
+        let mut sc = sc;
+        sc.exec.audit = true;
+        let r = runner::run_scenario(&sc, &kind);
+        let report = r.audit.as_ref().expect("audit requested");
+        prop_assert!(report.is_clean(),
+            "{} violated invariants:\n{}", kind.label(), report.render());
+    }
+
+    #[test]
+    fn random_faulted_scenarios_pass_the_audit(
+        sc in scenario_strategy(),
+        faults in fault_strategy(),
+        kind in kind_strategy(),
+    ) {
+        let mut sc = sc;
+        sc.exec.faults = faults;
+        sc.exec.audit = true;
+        let r = runner::run_scenario(&sc, &kind);
+        let report = r.audit.as_ref().expect("audit requested");
+        prop_assert!(report.is_clean(),
+            "{} violated invariants under faults:\n{}", kind.label(), report.render());
+    }
+
+    #[test]
+    fn audited_replay_is_bit_identical(sc in scenario_strategy(), kind in kind_strategy()) {
+        let mut sc = sc;
+        sc.exec.audit = true;
+        let a = runner::run_scenario(&sc, &kind);
+        let b = runner::run_scenario(&sc, &kind);
+        let divergence = adaptive_rl_sched::platform::replay_divergence(&a, &b);
+        prop_assert!(divergence.is_none(), "{}: {}", kind.label(), divergence.unwrap());
+    }
+
+    #[test]
     fn faulted_runs_are_deterministic(
         sc in scenario_strategy(),
         faults in fault_strategy(),
