@@ -67,6 +67,11 @@ impl SlotLedger {
             .unwrap_or(0)
     }
 
+    /// Forgets all claims, keeping the backing storage for reuse.
+    pub fn clear(&mut self) {
+        self.used.clear();
+    }
+
     /// Claims one slot on `addr`.
     pub fn claim(&mut self, addr: NodeAddr) {
         match self.used.iter_mut().find(|(a, _)| *a == addr) {

@@ -19,7 +19,6 @@ use platform::{Command, GroupFeedback, NodeAddr, PlatformView, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::rng::RngStream;
 use simcore::time::SimTime;
-use std::collections::HashMap;
 use workload::{SiteId, Task};
 
 /// Throttle levels the controller can select.
@@ -111,7 +110,11 @@ impl NodeCtl {
 pub struct OnlineRl {
     cfg: OnlineRlConfig,
     pools: SitePools,
-    nodes: HashMap<NodeAddr, NodeCtl>,
+    /// Per-node controllers, dense site-major (replaces a per-decision
+    /// `HashMap<NodeAddr, NodeCtl>`); built lazily from the first view.
+    ctls: Vec<NodeCtl>,
+    /// Dense-index base of each site's first node.
+    site_base: Vec<usize>,
     rng: RngStream,
     epsilon: f64,
     initialized: bool,
@@ -122,7 +125,8 @@ impl OnlineRl {
     pub fn new(num_sites: usize, cfg: OnlineRlConfig) -> Self {
         OnlineRl {
             pools: SitePools::new(num_sites),
-            nodes: HashMap::new(),
+            ctls: Vec::new(),
+            site_base: Vec::new(),
             rng: RngStream::root(cfg.seed).derive("online-rl"),
             epsilon: cfg.epsilon0,
             initialized: false,
@@ -135,12 +139,29 @@ impl OnlineRl {
         self.epsilon
     }
 
-    fn ctl(&mut self, addr: NodeAddr, powercap0: f64) -> &mut NodeCtl {
-        self.nodes.entry(addr).or_insert_with(|| {
-            let mut c = NodeCtl::new();
-            c.powercap = powercap0;
-            c
-        })
+    /// Builds the dense node index on first contact with the platform
+    /// (node topology is fixed for a run; faults flag processors, they
+    /// never remove nodes).
+    fn ensure_ctls(&mut self, view: &PlatformView<'_>) {
+        if !self.ctls.is_empty() {
+            return;
+        }
+        let mut base = 0;
+        for s in 0..view.num_sites() {
+            self.site_base.push(base);
+            base += view.site_nodes(SiteId(s as u32)).count();
+        }
+        self.ctls = (0..base)
+            .map(|_| {
+                let mut c = NodeCtl::new();
+                c.powercap = self.cfg.powercap0;
+                c
+            })
+            .collect();
+    }
+
+    fn ctl(&mut self, addr: NodeAddr) -> &mut NodeCtl {
+        &mut self.ctls[self.site_base[addr.site.0 as usize] + addr.node as usize]
     }
 }
 
@@ -155,12 +176,12 @@ impl Scheduler for OnlineRl {
 
     fn dispatch(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
         let mut cmds = common::dispatch_least_loaded(&mut self.pools, view, now, common::MAX_HOLD);
+        self.ensure_ctls(view);
         if !self.initialized {
             // Apply the conservative initial throttle everywhere once.
             self.initialized = true;
             for addr in view.node_addrs() {
-                let cap0 = self.cfg.powercap0;
-                let level = THROTTLE_LEVELS[self.ctl(addr, cap0).action];
+                let level = THROTTLE_LEVELS[self.ctl(addr).action];
                 cmds.push(Command::SetThrottle { node: addr, level });
             }
         }
@@ -168,8 +189,7 @@ impl Scheduler for OnlineRl {
     }
 
     fn on_group_complete(&mut self, _now: SimTime, fb: &GroupFeedback) {
-        let cap0 = self.cfg.powercap0;
-        let ctl = self.ctl(fb.node, cap0);
+        let ctl = self.ctl(fb.node);
         ctl.resp_sum += fb.completed_at.since(fb.enqueued_at).as_f64();
         ctl.resp_n += 1;
     }
@@ -177,6 +197,7 @@ impl Scheduler for OnlineRl {
     fn on_tick(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
         let mut cmds = Vec::new();
         let cfg = self.cfg;
+        self.ensure_ctls(view);
         for addr in view.node_addrs() {
             let nv = view.node(addr);
             let energy_now = nv.energy();
@@ -185,7 +206,7 @@ impl Scheduler for OnlineRl {
             let walk_up = self.rng.chance(0.5);
             let explore = self.rng.chance(self.epsilon);
             let explore_pick = self.rng.pick(THROTTLE_LEVELS.len());
-            let ctl = self.ctl(addr, cfg.powercap0);
+            let ctl = self.ctl(addr);
             let dt = now.as_f64() - ctl.tick_prev;
             if dt <= 0.0 {
                 continue;

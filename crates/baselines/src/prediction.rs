@@ -106,6 +106,18 @@ struct PredSample {
     features: [f64; 4],
 }
 
+/// Owned snapshot of one candidate node, reusable across decisions.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    addr: platform::NodeAddr,
+    queue_len: usize,
+    utilisation: f64,
+    raw_speed: f64,
+    /// Position in the site's node iteration order — the final sort
+    /// tiebreaker that makes an unstable sort reproduce stable order.
+    idx: usize,
+}
+
 /// The prediction-based consolidation scheduler.
 pub struct PredictionBased {
     cfg: PredictionConfig,
@@ -113,6 +125,10 @@ pub struct PredictionBased {
     model: LinReg<4>,
     issued: VecDeque<PredSample>,
     in_flight: HashMap<u64, PredSample>,
+    /// Per-group candidate scratch (cleared, never reallocated).
+    cands: Vec<Candidate>,
+    /// Per-site slot ledger, cleared between sites.
+    ledger: SlotLedger,
 }
 
 impl PredictionBased {
@@ -123,6 +139,8 @@ impl PredictionBased {
             model: LinReg::new(cfg.lr),
             issued: VecDeque::new(),
             in_flight: HashMap::new(),
+            cands: Vec::new(),
+            ledger: SlotLedger::new(),
             cfg,
         }
     }
@@ -161,7 +179,7 @@ impl Scheduler for PredictionBased {
             let hold = !common::site_has_idle_node(view, site);
             let groups =
                 common::form_groups(self.pools.pool_mut(s), opnum, hold, now, common::MAX_HOLD);
-            let mut ledger = SlotLedger::new();
+            self.ledger.clear();
             for group in groups {
                 let work: f64 = group.iter().map(|t| t.size_mi).sum();
                 let earliest_slack = group
@@ -169,23 +187,35 @@ impl Scheduler for PredictionBased {
                     .map(|t| t.deadline.since(now).as_f64())
                     .fold(f64::INFINITY, f64::min);
                 // Candidates that can hold the group, *busiest first* —
-                // consolidation prefers already-active resources.
-                let mut candidates: Vec<_> = view
-                    .site_nodes(site)
-                    .filter(|n| {
-                        n.queue_available() > ledger.claimed(n.addr())
-                            && n.available_processors() >= group.len()
-                    })
-                    .collect();
-                candidates.sort_by(|a, b| {
-                    b.queue_len()
-                        .cmp(&a.queue_len())
-                        .then(b.utilisation().total_cmp(&a.utilisation()))
+                // consolidation prefers already-active resources. Snapshot
+                // into the reusable scratch instead of collecting a fresh
+                // Vec of views per group.
+                self.cands.clear();
+                for (idx, n) in view.site_nodes(site).enumerate() {
+                    if n.queue_available() > self.ledger.claimed(n.addr())
+                        && n.available_processors() >= group.len()
+                    {
+                        self.cands.push(Candidate {
+                            addr: n.addr(),
+                            queue_len: n.queue_len(),
+                            utilisation: n.utilisation(),
+                            raw_speed: n.raw_speed(),
+                            idx,
+                        });
+                    }
+                }
+                // The original-order tiebreaker makes the unstable sort
+                // reproduce the stable `sort_by` order exactly.
+                self.cands.sort_unstable_by(|a, b| {
+                    b.queue_len
+                        .cmp(&a.queue_len)
+                        .then(b.utilisation.total_cmp(&a.utilisation))
+                        .then(a.idx.cmp(&b.idx))
                 });
                 let mut chosen = None;
                 let mut best_fallback: Option<(f64, usize)> = None;
-                for (i, n) in candidates.iter().enumerate() {
-                    let x = completion_features(work, n.raw_speed());
+                for (i, n) in self.cands.iter().enumerate() {
+                    let x = completion_features(work, n.raw_speed);
                     let pred = self.model.predict(&x).max(0.0) * self.cfg.margin;
                     if pred <= earliest_slack {
                         chosen = Some(i);
@@ -199,12 +229,12 @@ impl Scheduler for PredictionBased {
                 let pick = chosen.or(best_fallback.map(|(_, i)| i));
                 match pick {
                     Some(i) => {
-                        let n = &candidates[i];
-                        ledger.claim(n.addr());
-                        let features = completion_features(work, n.raw_speed());
+                        let n = self.cands[i];
+                        self.ledger.claim(n.addr);
+                        let features = completion_features(work, n.raw_speed);
                         self.issued.push_back(PredSample { features });
                         cmds.push(Command::Dispatch {
-                            node: n.addr(),
+                            node: n.addr,
                             tasks: group,
                             policy: GroupPolicy::Mixed,
                         });
@@ -271,14 +301,15 @@ mod tests {
     fn consolidation_concentrates_load() {
         let (r, _) = run(2, 400, 1.5);
         assert_eq!(r.incomplete, 0);
-        // Count tasks per node; consolidation should leave the spread
-        // clearly uneven (max node gets far more than an even share).
-        let mut per_node: HashMap<String, usize> = HashMap::new();
+        // Count tasks per node (dense index over the 2×3 platform);
+        // consolidation should leave the spread clearly uneven (max node
+        // gets far more than an even share).
+        let mut per_node = [0usize; 6];
         for rec in &r.records {
-            *per_node.entry(format!("{}", rec.node)).or_default() += 1;
+            per_node[rec.node.site.0 as usize * 3 + rec.node.node as usize] += 1;
         }
-        let max = per_node.values().copied().max().unwrap_or(0);
-        let even_share = r.records.len() / 6; // 6 nodes
+        let max = per_node.iter().copied().max().unwrap_or(0);
+        let even_share = r.records.len() / per_node.len();
         assert!(
             max > even_share * 3 / 2,
             "expected skewed placement, max {max} vs even {even_share}"
@@ -297,6 +328,23 @@ mod tests {
         let x = [1.0, 0.5, 0.0, 0.0];
         assert!((m.predict(&x) - 3.5).abs() < 0.05, "pred {}", m.predict(&x));
         assert_eq!(m.samples(), 5000);
+    }
+
+    #[test]
+    fn unstable_sort_with_index_tiebreak_matches_stable_order() {
+        // The scratch path replaced a stable `sort_by` over node views
+        // with `sort_unstable_by` + original-index tiebreaker; on inputs
+        // with heavy key ties the two must order identically.
+        let items: Vec<(usize, f64)> = (0..64)
+            .map(|i| ((i * 7) % 4, f64::from((i as u32 * 13) % 3)))
+            .collect();
+        let mut stable: Vec<(usize, (usize, f64))> = items.iter().copied().enumerate().collect();
+        stable.sort_by(|(_, a), (_, b)| b.0.cmp(&a.0).then(b.1.total_cmp(&a.1)));
+        let mut unstable: Vec<(usize, (usize, f64))> = items.iter().copied().enumerate().collect();
+        unstable.sort_unstable_by(|(ia, a), (ib, b)| {
+            b.0.cmp(&a.0).then(b.1.total_cmp(&a.1)).then(ia.cmp(ib))
+        });
+        assert_eq!(stable, unstable);
     }
 
     #[test]

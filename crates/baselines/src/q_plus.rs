@@ -21,7 +21,6 @@ use platform::{Command, PlatformView, ProcAddr, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::rng::RngStream;
 use simcore::time::SimTime;
-use std::collections::HashMap;
 use workload::{SiteId, Task};
 
 const IDLE_BUCKETS: usize = 4;
@@ -80,7 +79,10 @@ pub struct QPlusLearning {
     cfg: QPlusConfig,
     pools: SitePools,
     q: QTable,
-    procs: HashMap<ProcAddr, ProcCtl>,
+    /// Per-processor controllers, dense in the site-major tick iteration
+    /// order (replaces a per-tick `HashMap<ProcAddr, ProcCtl>` with its
+    /// entry-API rehash per processor); sized on first tick.
+    procs: Vec<ProcCtl>,
     rng: RngStream,
     epsilon: f64,
     decisions: u64,
@@ -93,7 +95,7 @@ impl QPlusLearning {
             pools: SitePools::new(num_sites),
             // Optimistic low-cost initialisation so both actions get tried.
             q: QTable::new(IDLE_BUCKETS * BACKLOG_BUCKETS, ACTIONS, 0.0),
-            procs: HashMap::new(),
+            procs: Vec::new(),
             rng: RngStream::root(cfg.seed).derive("q-plus"),
             epsilon: cfg.epsilon0,
             decisions: 0,
@@ -134,6 +136,16 @@ impl Scheduler for QPlusLearning {
     fn on_tick(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
         let cfg = self.cfg;
         let mut cmds = Vec::new();
+        if self.procs.is_empty() {
+            // Topology is fixed for a run; size the dense controller table
+            // once, in the same site-major order the tick loop walks.
+            let total: usize = view
+                .node_addrs()
+                .map(|a| view.node(a).num_processors())
+                .sum();
+            self.procs = vec![ProcCtl::default(); total];
+        }
+        let mut dense = 0usize;
         for addr in view.node_addrs() {
             let nv = view.node(addr);
             let backlog = nv.queue_len();
@@ -148,7 +160,8 @@ impl Scheduler for QPlusLearning {
                 let is_asleep = nv.proc_is_asleep(p);
                 let explore = self.rng.chance(self.epsilon);
                 let explore_pick = self.rng.pick(ACTIONS);
-                let ctl = self.procs.entry(proc).or_default();
+                let ctl = &mut self.procs[dense];
+                dense += 1;
 
                 // Resolve the pending decision's power×delay cost over the
                 // elapsed interval. Power is the current draw of the state

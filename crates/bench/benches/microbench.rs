@@ -1,9 +1,11 @@
 //! Microbenchmarks of the hot substrate paths: the event queue, the RNG
-//! streams, one full engine run per scheduler, and the value estimator.
+//! streams, one full engine run per scheduler, the value estimator, and
+//! the flat-buffer MLP kernels (`predict` / `train_step` / `score_into`).
 
 use adaptive_rl::{AdaptiveRl, AdaptiveRlConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use experiments::{runner, Scenario, SchedulerKind};
+use neural::{Activation, Mlp, Sgd, Workspace};
 use platform::{ExecConfig, ExecEngine, Platform, PlatformSpec};
 use simcore::rng::RngStream;
 use simcore::{EventQueue, SimTime};
@@ -95,9 +97,51 @@ fn value_estimator(c: &mut Criterion) {
     });
 }
 
+/// The value net of the decide→train cycle: `[11, 16, 1]`, Tanh hidden.
+fn value_net() -> (Mlp, Workspace) {
+    let net = Mlp::new(&[11, 16, 1], Activation::Tanh, Sgd::new(0.05, 0.5), 42);
+    (net, Workspace::default())
+}
+
+fn bench_input(i: usize, width: usize) -> Vec<f64> {
+    (0..width)
+        .map(|j| ((i * width + j) as f64 * 0.37).sin())
+        .collect()
+}
+
+fn mlp_predict(c: &mut Criterion) {
+    c.bench_function("mlp_predict_11x16x1", |b| {
+        let (net, mut ws) = value_net();
+        let x = bench_input(0, 11);
+        b.iter(|| black_box(net.predict_scalar_into(&x, &mut ws)))
+    });
+}
+
+fn mlp_train_step(c: &mut Criterion) {
+    c.bench_function("mlp_train_step_11x16x1", |b| {
+        let (mut net, mut ws) = value_net();
+        let x = bench_input(1, 11);
+        b.iter(|| black_box(net.train_step(&x, &[0.5], &mut ws)))
+    });
+}
+
+fn mlp_score_into(c: &mut Criterion) {
+    // 12 candidates = the full action space of a 6-processor site.
+    c.bench_function("mlp_score_into_12_candidates", |b| {
+        let (net, mut ws) = value_net();
+        let rows: Vec<f64> = (0..12).flat_map(|i| bench_input(i, 11)).collect();
+        let mut scores = Vec::new();
+        b.iter(|| {
+            net.score_into(&rows, &mut scores, &mut ws);
+            black_box(scores.last().copied())
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = event_queue, rng_streams, engine_run, scalability, value_estimator
+    targets = event_queue, rng_streams, engine_run, scalability, value_estimator,
+        mlp_predict, mlp_train_step, mlp_score_into
 }
 criterion_main!(benches);

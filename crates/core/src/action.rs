@@ -44,8 +44,20 @@ impl ActionChoice {
     /// # Panics
     /// Panics if `max_procs == 0`.
     pub fn candidates(max_procs: usize) -> Vec<ActionChoice> {
-        assert!(max_procs > 0, "a site must have processors");
         let mut out = Vec::with_capacity(max_procs * 2);
+        Self::candidates_into(max_procs, &mut out);
+        out
+    }
+
+    /// [`ActionChoice::candidates`] into a reusable buffer (cleared
+    /// first) — the decide hot path re-enumerates per round without
+    /// allocating.
+    ///
+    /// # Panics
+    /// Panics if `max_procs == 0`.
+    pub fn candidates_into(max_procs: usize, out: &mut Vec<ActionChoice>) {
+        assert!(max_procs > 0, "a site must have processors");
+        out.clear();
         for opnum in 1..=max_procs {
             out.push(ActionChoice {
                 policy: PolicyKind::Mixed,
@@ -56,7 +68,6 @@ impl ActionChoice {
                 opnum,
             });
         }
-        out
     }
 
     /// Feature encoding of the action for the value network:

@@ -73,7 +73,7 @@ impl Agent {
         obs: &SiteObservation,
         candidates: &[ActionChoice],
         epsilon: f64,
-        value: Option<&ValueEstimator>,
+        value: Option<&mut ValueEstimator>,
         memory: &SharedLearningMemory,
         shared: bool,
         max_procs: usize,
@@ -227,7 +227,7 @@ mod tests {
             }
         }
         let cands = ActionChoice::candidates(4);
-        let (action, src) = a.choose_action(&o, &cands, 0.0, Some(&v), &mem, true, 4);
+        let (action, src) = a.choose_action(&o, &cands, 0.0, Some(&mut v), &mem, true, 4);
         assert_eq!(src, ChoiceSource::Exploit);
         assert_eq!(action, good);
     }

@@ -61,6 +61,9 @@ pub struct AdaptiveRl {
     /// Reusable per-round ledger of queue slots claimed by this round's
     /// dispatches — cleared per site, capacity kept across rounds.
     used_scratch: Vec<(NodeAddr, usize)>,
+    /// Reusable candidate-action buffer — refilled per site, capacity
+    /// kept across rounds.
+    cand_scratch: Vec<ActionChoice>,
     /// Telemetry recorder ([`telemetry::NullRecorder`] unless attached
     /// via [`AdaptiveRl::with_recorder`]); `Arc` so the replicated
     /// runner can share one sink across schedulers.
@@ -96,6 +99,7 @@ impl AdaptiveRl {
             issued: VecDeque::new(),
             in_flight: HashMap::new(),
             used_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
             rec: Arc::new(telemetry::NullRecorder),
             t_dec: false,
             t_cyc: false,
@@ -292,14 +296,21 @@ impl Scheduler for AdaptiveRl {
             if obs.max_procs == 0 {
                 continue;
             }
-            let mut candidates = ActionChoice::candidates(obs.max_procs);
+            ActionChoice::candidates_into(obs.max_procs, &mut self.cand_scratch);
             if let Some(forced) = self.cfg.force_policy {
-                candidates.retain(|c| c.policy == forced);
+                self.cand_scratch.retain(|c| c.policy == forced);
             }
-            let value = self.cfg.use_value_net.then_some(&self.value);
+            // Disjoint field borrows: the agent (mut), the value net with
+            // its workspace (mut), the candidate scratch and memory
+            // (shared) all live side by side on self.
+            let value = if self.cfg.use_value_net {
+                Some(&mut self.value)
+            } else {
+                None
+            };
             let (action, src) = self.agents[idx].choose_action(
                 &obs,
-                &candidates,
+                &self.cand_scratch,
                 self.epsilon,
                 value,
                 &self.memory,

@@ -4,10 +4,17 @@
 //! given site state — the function-approximation role the paper assigns to
 //! the neural-network structure of \[10\]. Trained online: one SGD step per
 //! completed learning cycle.
+//!
+//! The estimator owns a reusable [`neural::Workspace`] plus candidate
+//! scratch buffers, so `predict`/`train`/`best_action` are allocation-free
+//! after the first call. `best_action` encodes all candidates into one
+//! scratch matrix and scores them in a single [`Mlp::score_into`] pass —
+//! n forward passes per decision, where the former `max_by`-over-`predict`
+//! formulation re-evaluated both comparands (≈ 2(n−1) passes).
 
 use crate::action::ActionChoice;
 use crate::state::{SiteObservation, STATE_FEATURES};
-use neural::{Activation, Mlp, Sgd};
+use neural::{Activation, Mlp, Sgd, Workspace};
 
 /// Width of the estimator's input: state features plus action features.
 pub const INPUT_WIDTH: usize = STATE_FEATURES + 3;
@@ -16,6 +23,12 @@ pub const INPUT_WIDTH: usize = STATE_FEATURES + 3;
 #[derive(Debug, Clone)]
 pub struct ValueEstimator {
     net: Mlp,
+    /// Reusable forward/backward scratch.
+    ws: Workspace,
+    /// Candidate encoding matrix, one `INPUT_WIDTH` row per candidate.
+    enc: Vec<f64>,
+    /// Candidate scores, parallel to the encoded rows.
+    scores: Vec<f64>,
 }
 
 impl ValueEstimator {
@@ -28,6 +41,9 @@ impl ValueEstimator {
                 Sgd::new(lr, momentum),
                 seed,
             ),
+            ws: Workspace::default(),
+            enc: Vec::new(),
+            scores: Vec::new(),
         }
     }
 
@@ -39,31 +55,58 @@ impl ValueEstimator {
     }
 
     /// Predicted normalised learning value of `action` in `obs`.
-    pub fn predict(&self, obs: &SiteObservation, action: ActionChoice) -> f64 {
-        self.net.predict_scalar(&Self::encode(obs, action))
+    pub fn predict(&mut self, obs: &SiteObservation, action: ActionChoice) -> f64 {
+        self.net
+            .predict_scalar_into(&Self::encode(obs, action), &mut self.ws)
     }
 
     /// One online training step toward the observed normalised target;
     /// returns the pre-update squared error.
     pub fn train(&mut self, obs: &SiteObservation, action: ActionChoice, target: f64) -> f64 {
-        self.net.train_step(&Self::encode(obs, action), &[target])
+        self.net
+            .train_step(&Self::encode(obs, action), &[target], &mut self.ws)
     }
 
     /// The action among `candidates` with the highest predicted value.
     ///
+    /// Every candidate is encoded into the reusable scratch matrix and
+    /// scored in one batched pass; the argmax over the cached scores keeps
+    /// `max_by`'s tie rule (the *last* maximal element wins), so the choice
+    /// is bit-identical to the pairwise formulation it replaced.
+    ///
     /// # Panics
     /// Panics if `candidates` is empty.
-    pub fn best_action(&self, obs: &SiteObservation, candidates: &[ActionChoice]) -> ActionChoice {
+    pub fn best_action(
+        &mut self,
+        obs: &SiteObservation,
+        candidates: &[ActionChoice],
+    ) -> ActionChoice {
+        use std::cmp::Ordering;
         assert!(!candidates.is_empty(), "need at least one candidate action");
-        *candidates
-            .iter()
-            .max_by(|a, b| self.predict(obs, **a).total_cmp(&self.predict(obs, **b)))
-            .expect("non-empty")
+        self.enc.clear();
+        for &c in candidates {
+            self.enc.extend_from_slice(&Self::encode(obs, c));
+        }
+        self.net
+            .score_into(&self.enc, &mut self.scores, &mut self.ws);
+        let mut best = 0usize;
+        for (i, s) in self.scores.iter().enumerate().skip(1) {
+            if s.total_cmp(&self.scores[best]) != Ordering::Less {
+                best = i;
+            }
+        }
+        candidates[best]
     }
 
     /// Training steps taken so far.
     pub fn steps(&self) -> u64 {
         self.net.steps()
+    }
+
+    /// Single-sample forward passes run so far (the counting probe behind
+    /// the `best_action` cost regression test).
+    pub fn forward_passes(&self) -> u64 {
+        self.ws.forward_passes()
     }
 }
 
@@ -125,7 +168,71 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one candidate")]
     fn empty_candidates_rejected() {
-        let v = ValueEstimator::new(4, 0.05, 0.0, 1);
+        let mut v = ValueEstimator::new(4, 0.05, 0.0, 1);
         let _ = v.best_action(&obs(), &[]);
+    }
+
+    #[test]
+    fn best_action_scores_each_candidate_exactly_once() {
+        // Regression test for the former max_by-over-predict formulation,
+        // which ran ≈ 2(n−1) forward passes per decision.
+        let mut v = ValueEstimator::new(8, 0.05, 0.5, 11);
+        let o = obs();
+        let cands = ActionChoice::candidates(6);
+        assert_eq!(cands.len(), 12);
+        let before = v.forward_passes();
+        let _ = v.best_action(&o, &cands);
+        assert_eq!(
+            v.forward_passes() - before,
+            cands.len() as u64,
+            "one forward pass per candidate, no re-evaluation"
+        );
+    }
+
+    #[test]
+    fn best_action_matches_max_by_reference() {
+        // The cached-score argmax must replicate Iterator::max_by exactly,
+        // including its keep-the-last-maximum tie rule.
+        let mut v = ValueEstimator::new(8, 0.05, 0.5, 13);
+        let o = obs();
+        for i in 0..50 {
+            let cands = ActionChoice::candidates(6);
+            // Scores from the same estimator state the decision will use.
+            let scores: Vec<f64> = cands.iter().map(|&c| v.predict(&o, c)).collect();
+            let expect = cands
+                .iter()
+                .zip(&scores)
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(c, _)| *c)
+                .expect("non-empty");
+            assert_eq!(v.best_action(&o, &cands), expect, "iteration {i}");
+            // Shift the landscape between rounds.
+            let a = cands[i % cands.len()];
+            v.train(&o, a, (i % 7) as f64 / 7.0);
+        }
+    }
+
+    #[test]
+    fn tie_rule_keeps_the_last_maximum() {
+        // An untrained net with zero-init output bias can still break ties
+        // arbitrarily; force a genuine tie by duplicating one candidate.
+        let mut v = ValueEstimator::new(4, 0.05, 0.0, 5);
+        let o = obs();
+        let a = ActionChoice {
+            policy: PolicyKind::Mixed,
+            opnum: 2,
+        };
+        let b = ActionChoice {
+            policy: PolicyKind::Identical,
+            opnum: 2,
+        };
+        let dup = [a, b, a];
+        let reference = *dup
+            .iter()
+            .zip([v.predict(&o, a), v.predict(&o, b), v.predict(&o, a)].iter())
+            .max_by(|x, y| x.1.total_cmp(y.1))
+            .map(|(c, _)| c)
+            .expect("non-empty");
+        assert_eq!(v.best_action(&o, &dup), reference);
     }
 }

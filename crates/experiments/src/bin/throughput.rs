@@ -39,12 +39,14 @@ struct Row {
     incomplete: usize,
 }
 
-/// Compares the fresh aggregate against the committed
+/// Compares the fresh numbers against the committed
 /// `BENCH_throughput.json` (same mode only) and warns — non-fatally —
-/// when throughput dropped by more than 25%. Wall-clock numbers vary
-/// across machines, so this is a tripwire for gross hot-path
-/// regressions, not a CI gate.
-fn check_regression(path: &str, mode: &str, new_tasks_per_s: f64) {
+/// when throughput dropped by more than 25%, both on the aggregate and
+/// on each per-scheduler row (a regression confined to one scheduler,
+/// e.g. the neural value path of Adaptive RL, barely moves the
+/// aggregate). Wall-clock numbers vary across machines, so this is a
+/// tripwire for gross hot-path regressions, not a CI gate.
+fn check_regression(path: &str, mode: &str, new_tasks_per_s: f64, rows: &[Row]) {
     let Ok(old) = std::fs::read_to_string(path) else {
         return;
     };
@@ -56,21 +58,36 @@ fn check_regression(path: &str, mode: &str, new_tasks_per_s: f64) {
     if old_mode != Some(mode) {
         return;
     }
+    let warn = |label: &str, old_rate: f64, new_rate: f64| {
+        if old_rate > 0.0 && new_rate < 0.75 * old_rate {
+            println!(
+                "WARNING: {label} throughput regressed by {:.0}% vs committed baseline \
+                 ({:.0} -> {:.0} tasks/s)",
+                100.0 * (1.0 - new_rate / old_rate),
+                old_rate,
+                new_rate
+            );
+        }
+    };
+    if let Some(old_rows) = old.get("schedulers").and_then(|v| v.as_array()) {
+        for row in rows {
+            let old_rate = old_rows
+                .iter()
+                .find(|o| o.get("label").and_then(|l| l.as_str()) == Some(row.label))
+                .and_then(|o| o.get("tasks_per_s"))
+                .and_then(|v| v.as_f64());
+            if let Some(old_rate) = old_rate {
+                warn(row.label, old_rate, row.tasks as f64 / row.wall_s);
+            }
+        }
+    }
     let Some(old_tasks_per_s) = old
         .path(&["aggregate", "tasks_per_s"])
         .and_then(|v| v.as_f64())
     else {
         return;
     };
-    if old_tasks_per_s > 0.0 && new_tasks_per_s < 0.75 * old_tasks_per_s {
-        println!(
-            "WARNING: aggregate throughput regressed by {:.0}% vs committed baseline \
-             ({:.0} -> {:.0} tasks/s)",
-            100.0 * (1.0 - new_tasks_per_s / old_tasks_per_s),
-            old_tasks_per_s,
-            new_tasks_per_s
-        );
-    }
+    warn("aggregate", old_tasks_per_s, new_tasks_per_s);
 }
 
 fn main() {
@@ -174,6 +191,7 @@ fn main() {
         "BENCH_throughput.json",
         mode,
         total_tasks as f64 / total_wall,
+        &rows,
     );
     std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
     println!("wrote BENCH_throughput.json");

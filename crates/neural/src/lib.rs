@@ -9,6 +9,10 @@
 //!
 //! Everything is plain `Vec<f64>` math: the networks involved are tiny
 //! (a handful of inputs, one hidden layer), so clarity beats BLAS here.
+//! The hot path ([`Mlp`]) keeps all parameters in one flat buffer and
+//! runs allocation-free against a reusable [`Workspace`]; the explicit
+//! layer-per-`Vec` formulation ([`Dense`]) remains as the readable
+//! reference the flat kernels are bit-compared against.
 
 #![warn(missing_docs)]
 
@@ -20,6 +24,6 @@ pub mod optimizer;
 
 pub use activation::Activation;
 pub use layer::Dense;
-pub use loss::{mse, mse_grad};
-pub use network::Mlp;
+pub use loss::{mse, mse_grad, mse_grad_into};
+pub use network::{Mlp, Workspace};
 pub use optimizer::Sgd;

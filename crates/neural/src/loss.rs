@@ -24,6 +24,19 @@ pub fn mse_grad(pred: &[f64], target: &[f64]) -> Vec<f64> {
         .collect()
 }
 
+/// Allocation-free [`mse_grad`]: writes the gradient into `out`.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mse_grad_into(pred: &[f64], target: &[f64], out: &mut [f64]) {
+    assert_eq!(pred.len(), target.len(), "length mismatch");
+    assert_eq!(pred.len(), out.len(), "length mismatch");
+    let n = pred.len() as f64;
+    for (o, (p, t)) in out.iter_mut().zip(pred.iter().zip(target)) {
+        *o = 2.0 * (p - t) / n;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

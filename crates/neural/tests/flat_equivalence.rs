@@ -1,0 +1,158 @@
+//! Bit-identity of the flat-buffer [`Mlp`] against the layer-per-`Vec`
+//! reference formulation it replaced.
+//!
+//! The reference below is the previous `Mlp` implementation verbatim:
+//! a `Vec<Dense>` driven through `Dense::forward`/`Dense::backward` and
+//! `Sgd::step` + `Dense::apply_update`. Same seed, same inputs must give
+//! *identical* `f64` bits for every prediction and every post-training
+//! parameter — that is the contract that keeps the golden determinism
+//! pins valid across the flat rewrite.
+
+use neural::layer::{Dense, DenseGrads};
+use neural::{mse, mse_grad, Activation, Mlp, Sgd, Workspace};
+
+/// The previous layered implementation, kept as the oracle.
+struct LayeredMlp {
+    layers: Vec<Dense>,
+    optimizer: Sgd,
+}
+
+impl LayeredMlp {
+    fn new(widths: &[usize], hidden_act: Activation, optimizer: Sgd, seed: u64) -> Self {
+        assert!(widths.len() >= 2);
+        let mut layers = Vec::with_capacity(widths.len() - 1);
+        for (i, pair) in widths.windows(2).enumerate() {
+            let act = if i == widths.len() - 2 {
+                Activation::Identity
+            } else {
+                hidden_act
+            };
+            layers.push(Dense::new(
+                pair[0],
+                pair[1],
+                act,
+                seed.wrapping_add(i as u64),
+            ));
+        }
+        LayeredMlp { layers, optimizer }
+    }
+
+    fn predict(&self, x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        let (mut pre, mut out) = (Vec::new(), Vec::new());
+        for layer in &self.layers {
+            layer.forward(&cur, &mut pre, &mut out);
+            std::mem::swap(&mut cur, &mut out);
+        }
+        cur
+    }
+
+    fn train_step(&mut self, x: &[f64], target: &[f64]) -> f64 {
+        let mut inputs: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut pres: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            let (mut pre, mut out) = (Vec::new(), Vec::new());
+            layer.forward(&cur, &mut pre, &mut out);
+            inputs.push(cur);
+            pres.push(pre);
+            cur = out;
+        }
+        let loss = mse(&cur, target);
+        let mut dloss = mse_grad(&cur, target);
+        let mut grads: Vec<DenseGrads> =
+            self.layers.iter().map(|_| DenseGrads::default()).collect();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            dloss = layer.backward(&inputs[i], &pres[i], &dloss, &mut grads[i]);
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let (dw, db) = self.optimizer.step(i, &grads[i].weights, &grads[i].biases);
+            layer.apply_update(&dw, &db);
+        }
+        loss
+    }
+
+    /// Parameters in the flat layout: per layer, weights then biases.
+    fn flat_params(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for l in &self.layers {
+            out.extend_from_slice(&l.weights);
+            out.extend_from_slice(&l.biases);
+        }
+        out
+    }
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}[{i}]: {x:?} vs {y:?} differ in bits"
+        );
+    }
+}
+
+/// Deterministic pseudo-inputs without pulling an RNG into the test.
+fn input(i: usize, width: usize, salt: u64) -> Vec<f64> {
+    (0..width)
+        .map(|k| {
+            let v = ((i * 31 + k * 17) as u64).wrapping_mul(salt.wrapping_add(0x9E37_79B9));
+            (v % 2000) as f64 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+#[test]
+fn initial_parameters_are_bit_identical() {
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+        let flat = Mlp::new(&[11, 16, 1], Activation::Tanh, Sgd::new(0.05, 0.5), seed);
+        let layered = LayeredMlp::new(&[11, 16, 1], Activation::Tanh, Sgd::new(0.05, 0.5), seed);
+        assert_bits_eq(flat.params(), &layered.flat_params(), "init params");
+    }
+}
+
+#[test]
+fn predictions_are_bit_identical() {
+    for (widths, act) in [
+        (vec![11usize, 16, 1], Activation::Tanh),
+        (vec![4, 8, 2], Activation::Relu),
+        (vec![3, 5, 5, 1], Activation::Sigmoid),
+        (vec![2, 1], Activation::Identity),
+    ] {
+        let flat = Mlp::new(&widths, act, Sgd::new(0.05, 0.0), 7);
+        let layered = LayeredMlp::new(&widths, act, Sgd::new(0.05, 0.0), 7);
+        let mut ws = Workspace::default();
+        for i in 0..25 {
+            let x = input(i, widths[0], 11);
+            let got = flat.predict_into(&x, &mut ws);
+            let want = layered.predict(&x);
+            assert_bits_eq(got, &want, "predict");
+        }
+    }
+}
+
+#[test]
+fn training_trajectories_are_bit_identical() {
+    for (momentum, seed) in [(0.0, 3u64), (0.5, 9), (0.9, 1234)] {
+        let widths = [11usize, 16, 1];
+        let opt = || Sgd::new(0.05, momentum);
+        let mut flat = Mlp::new(&widths, Activation::Tanh, opt(), seed);
+        let mut layered = LayeredMlp::new(&widths, Activation::Tanh, opt(), seed);
+        let mut ws = Workspace::default();
+        for i in 0..500 {
+            let x = input(i, widths[0], seed);
+            let target = [((i % 10) as f64) / 10.0];
+            let lf = flat.train_step(&x, &target, &mut ws);
+            let ll = layered.train_step(&x, &target);
+            assert_eq!(lf.to_bits(), ll.to_bits(), "loss at step {i}");
+            assert_bits_eq(flat.params(), &layered.flat_params(), "params");
+        }
+        // And the nets still agree on fresh inputs afterwards.
+        for i in 500..520 {
+            let x = input(i, widths[0], seed);
+            assert_bits_eq(flat.predict_into(&x, &mut ws), &layered.predict(&x), "post");
+        }
+    }
+}

@@ -68,10 +68,11 @@ proptest! {
         target in -0.9f64..0.9,
     ) {
         let mut net = Mlp::new(&[x.len(), 6, 1], Activation::Tanh, Sgd::new(0.05, 0.0), seed);
-        let first = net.train_step(&x, &[target]);
+        let mut ws = neural::Workspace::default();
+        let first = net.train_step(&x, &[target], &mut ws);
         let mut last = first;
         for _ in 0..300 {
-            last = net.train_step(&x, &[target]);
+            last = net.train_step(&x, &[target], &mut ws);
         }
         prop_assert!(last <= first + 1e-12, "loss must not increase: {first} -> {last}");
         prop_assert!(last < 0.05_f64.max(first * 0.5), "loss must shrink: {first} -> {last}");

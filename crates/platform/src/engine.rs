@@ -1474,7 +1474,14 @@ impl ExecEngine {
             oracle,
             settled_at: SimTime::ZERO,
         };
-        let mut engine = Engine::new().with_fuse(self.cfg.fuse);
+        // Peak event-queue occupancy: every arrival is primed upfront, the
+        // fault plan adds at most one fault + one recovery per entry, at
+        // most one TaskDone/WakeDone can be in flight per processor, and a
+        // single Tick is outstanding at any time.
+        let queue_cap = num_tasks + 2 * driver.plan.len() + total_procs + 2;
+        let mut engine = Engine::new()
+            .with_queue_capacity(queue_cap)
+            .with_fuse(self.cfg.fuse);
         for (i, t) in driver.tasks.iter().enumerate() {
             engine.prime(t.arrival, Ev::Arrival(i as u32));
         }

@@ -106,6 +106,14 @@ impl<E> Engine<E> {
         self
     }
 
+    /// Pre-sizes the future-event list for an expected peak occupancy,
+    /// avoiding heap regrowth mid-run. Call before priming.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        debug_assert!(self.queue.is_empty(), "pre-size before priming");
+        self.queue = EventQueue::with_capacity(cap);
+        self
+    }
+
     /// Seeds an initial event at absolute time `at`.
     pub fn prime(&mut self, at: SimTime, event: E) {
         self.queue.push(at, event);
