@@ -39,6 +39,11 @@ impl SitePools {
         &mut self.pools[site]
     }
 
+    /// Read access to one site's pool (checkpointing).
+    pub fn pool(&self, site: usize) -> &[Task] {
+        &self.pools[site]
+    }
+
     /// Total pending tasks across sites.
     pub fn total_pending(&self) -> usize {
         self.pools.iter().map(|p| p.len()).sum()

@@ -14,11 +14,13 @@
 //! scheduler in the comparison ([`common::dispatch_least_loaded`]).
 
 use crate::common::{self, SitePools};
+use crate::snap;
 use crate::tabular::{bucketize, QTable};
 use platform::{Command, GroupFeedback, NodeAddr, PlatformView, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::rng::RngStream;
 use simcore::time::SimTime;
+use snapshot::{corrupt, SnapReader, SnapWriter, SnapshotError};
 use workload::{SiteId, Task};
 
 /// Throttle levels the controller can select.
@@ -253,6 +255,104 @@ impl Scheduler for OnlineRl {
         }
         self.epsilon = (self.epsilon * cfg.epsilon_decay).max(cfg.epsilon_floor);
         cmds
+    }
+
+    fn save_state(&mut self, w: &mut SnapWriter) {
+        snap::write_pools(w, &self.pools);
+        snap::write_rng(w, &self.rng);
+        w.f64(self.epsilon);
+        w.bool(self.initialized);
+        w.usize(self.site_base.len());
+        for &base in &self.site_base {
+            w.usize(base);
+        }
+        w.usize(self.ctls.len());
+        for ctl in &self.ctls {
+            snap::write_qtable(w, &ctl.q);
+            w.f64(ctl.powercap);
+            match ctl.last {
+                Some((s, a)) => {
+                    w.bool(true);
+                    w.usize(s);
+                    w.usize(a);
+                }
+                None => w.bool(false),
+            }
+            w.f64(ctl.energy_prev);
+            w.f64(ctl.tick_prev);
+            w.f64(ctl.resp_sum);
+            w.u32(ctl.resp_n);
+            w.usize(ctl.action);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let pools = snap::read_pools(r, self.pools.num_sites())?;
+        let rng = snap::read_rng(r)?;
+        let epsilon = snap::read_unit_interval(r, "Online-RL epsilon")?;
+        let initialized = r.bool()?;
+        let n_base = r.len_hint()?;
+        let mut site_base = Vec::with_capacity(n_base);
+        for _ in 0..n_base {
+            site_base.push(r.usize()?);
+        }
+        let n_ctls = r.len_hint()?;
+        let mut ctls = Vec::with_capacity(n_ctls);
+        for _ in 0..n_ctls {
+            let mut ctl = NodeCtl::new();
+            snap::read_qtable_into(r, &mut ctl.q)?;
+            ctl.powercap = r.f64_finite()?;
+            ctl.last = if r.bool()? {
+                let s = r.usize()?;
+                let a = r.usize()?;
+                if s >= ctl.q.num_states() || a >= ctl.q.num_actions() {
+                    return Err(corrupt(format!(
+                        "pending (state {s}, action {a}) outside the Q-table"
+                    )));
+                }
+                Some((s, a))
+            } else {
+                None
+            };
+            ctl.energy_prev = r.f64_time()?;
+            ctl.tick_prev = r.f64_time()?;
+            ctl.resp_sum = r.f64_time()?;
+            ctl.resp_n = r.u32()?;
+            ctl.action = r.usize()?;
+            if ctl.action >= THROTTLE_LEVELS.len() {
+                return Err(corrupt(format!(
+                    "throttle action {} out of range",
+                    ctl.action
+                )));
+            }
+            ctls.push(ctl);
+        }
+        // The lazy node index builds both vectors together: they must be
+        // consistently empty (pre-first-dispatch) or consistently built.
+        if site_base.is_empty() != ctls.is_empty() {
+            return Err(corrupt("node index and controller table out of sync"));
+        }
+        if !site_base.is_empty() {
+            if site_base.len() != pools.num_sites() {
+                return Err(corrupt(format!(
+                    "node index covers {} sites, pools have {}",
+                    site_base.len(),
+                    pools.num_sites()
+                )));
+            }
+            if site_base.windows(2).any(|p| p[0] > p[1])
+                || site_base.iter().any(|&b| b > ctls.len())
+            {
+                return Err(corrupt("node index bases are not monotone within bounds"));
+            }
+        }
+        self.pools = pools;
+        self.rng = rng;
+        self.epsilon = epsilon;
+        self.initialized = initialized;
+        self.site_base = site_base;
+        self.ctls = ctls;
+        Ok(())
     }
 }
 

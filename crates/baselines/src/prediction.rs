@@ -19,9 +19,11 @@
 //! is what makes consolidation overpack under bursty load.
 
 use crate::common::{self, SitePools, SlotLedger};
+use crate::snap;
 use platform::{AssignmentFeedback, Command, GroupFeedback, GroupPolicy, PlatformView, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::time::SimTime;
+use snapshot::{corrupt, SnapReader, SnapWriter, SnapshotError};
 use std::collections::{HashMap, VecDeque};
 use workload::{SiteId, Task};
 
@@ -85,6 +87,17 @@ impl<const D: usize> LinReg<D> {
     /// Training samples consumed.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Weight vector, bias first (checkpointing).
+    pub fn weights(&self) -> &[f64; D] {
+        &self.w
+    }
+
+    /// Restores regressor state captured by a checkpoint.
+    pub fn restore(&mut self, w: [f64; D], samples: u64) {
+        self.w = w;
+        self.samples = samples;
     }
 }
 
@@ -265,6 +278,65 @@ impl Scheduler for PredictionBased {
             let actual = fb.completed_at.since(start).as_f64();
             self.model.train(&sample.features, actual);
         }
+    }
+
+    fn save_state(&mut self, w: &mut SnapWriter) {
+        snap::write_pools(w, &self.pools);
+        for &weight in self.model.weights() {
+            w.f64(weight);
+        }
+        w.u64(self.model.samples());
+        w.usize(self.issued.len());
+        for sample in &self.issued {
+            for &f in &sample.features {
+                w.f64(f);
+            }
+        }
+        // Canonical bytes: the in-flight map is written in key order.
+        let mut keys: Vec<u64> = self.in_flight.keys().copied().collect();
+        keys.sort_unstable();
+        w.usize(keys.len());
+        for key in keys {
+            w.u64(key);
+            for &f in &self.in_flight[&key].features {
+                w.f64(f);
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        fn read_sample(r: &mut SnapReader<'_>) -> Result<PredSample, SnapshotError> {
+            let mut features = [0.0f64; 4];
+            for f in &mut features {
+                *f = r.f64()?;
+            }
+            Ok(PredSample { features })
+        }
+        let pools = snap::read_pools(r, self.pools.num_sites())?;
+        let mut weights = [0.0f64; 4];
+        for weight in &mut weights {
+            *weight = r.f64()?;
+        }
+        let samples = r.u64()?;
+        let n_issued = r.len_hint()?;
+        let mut issued = VecDeque::with_capacity(n_issued);
+        for _ in 0..n_issued {
+            issued.push_back(read_sample(r)?);
+        }
+        let n_flight = r.len_hint()?;
+        let mut in_flight = HashMap::with_capacity(n_flight);
+        for _ in 0..n_flight {
+            let key = r.u64()?;
+            let sample = read_sample(r)?;
+            if in_flight.insert(key, sample).is_some() {
+                return Err(corrupt(format!("duplicate in-flight group id {key}")));
+            }
+        }
+        self.pools = pools;
+        self.model.restore(weights, samples);
+        self.issued = issued;
+        self.in_flight = in_flight;
+        Ok(())
     }
 }
 

@@ -16,11 +16,13 @@
 //! Task grouping and node selection follow the shared strategy.
 
 use crate::common::{self, SitePools};
+use crate::snap;
 use crate::tabular::{bucketize, QTable};
 use platform::{Command, PlatformView, ProcAddr, Scheduler};
 use serde::{Deserialize, Serialize};
 use simcore::rng::RngStream;
 use simcore::time::SimTime;
+use snapshot::{corrupt, SnapReader, SnapWriter, SnapshotError};
 use workload::{SiteId, Task};
 
 const IDLE_BUCKETS: usize = 4;
@@ -218,6 +220,71 @@ impl Scheduler for QPlusLearning {
             }
         }
         cmds
+    }
+
+    fn save_state(&mut self, w: &mut SnapWriter) {
+        snap::write_pools(w, &self.pools);
+        snap::write_rng(w, &self.rng);
+        w.f64(self.epsilon);
+        w.u64(self.decisions);
+        snap::write_qtable(w, &self.q);
+        w.usize(self.procs.len());
+        for ctl in &self.procs {
+            w.opt_f64(ctl.idle_since);
+            match ctl.pending {
+                Some((s, a, at, energy)) => {
+                    w.bool(true);
+                    w.usize(s);
+                    w.usize(a);
+                    w.f64(at);
+                    w.f64(energy);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let pools = snap::read_pools(r, self.pools.num_sites())?;
+        let rng = snap::read_rng(r)?;
+        let epsilon = snap::read_unit_interval(r, "Q+ epsilon")?;
+        let decisions = r.u64()?;
+        let mut q = self.q.clone();
+        snap::read_qtable_into(r, &mut q)?;
+        let n_procs = r.len_hint()?;
+        let mut procs = Vec::with_capacity(n_procs);
+        for _ in 0..n_procs {
+            let idle_since = match r.opt_f64()? {
+                Some(t) if t.is_finite() && t >= 0.0 => Some(t),
+                Some(t) => return Err(corrupt(format!("idle-since timestamp {t} invalid"))),
+                None => None,
+            };
+            let pending = if r.bool()? {
+                let s = r.usize()?;
+                let a = r.usize()?;
+                if s >= q.num_states() || a >= ACTIONS {
+                    return Err(corrupt(format!(
+                        "pending (state {s}, action {a}) outside the Q-table"
+                    )));
+                }
+                let at = r.f64_time()?;
+                let energy = r.f64()?;
+                Some((s, a, at, energy))
+            } else {
+                None
+            };
+            procs.push(ProcCtl {
+                idle_since,
+                pending,
+            });
+        }
+        self.pools = pools;
+        self.rng = rng;
+        self.epsilon = epsilon;
+        self.decisions = decisions;
+        self.q = q;
+        self.procs = procs;
+        Ok(())
     }
 }
 

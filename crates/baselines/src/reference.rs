@@ -6,8 +6,10 @@
 //! under load.
 
 use crate::common::{self, SitePools, SlotLedger};
+use crate::snap;
 use platform::{Command, GroupPolicy, NodeAddr, PlatformView, Scheduler};
 use simcore::time::SimTime;
+use snapshot::{corrupt, SnapReader, SnapWriter, SnapshotError};
 use workload::{SiteId, Task};
 
 /// Dispatches every task alone, cycling over the site's nodes.
@@ -72,6 +74,32 @@ impl Scheduler for RoundRobin {
             *self.pools.pool_mut(s) = kept;
         }
         cmds
+    }
+
+    fn save_state(&mut self, w: &mut SnapWriter) {
+        snap::write_pools(w, &self.pools);
+        w.usize(self.cursor.len());
+        for &c in &self.cursor {
+            w.usize(c);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        let pools = snap::read_pools(r, self.pools.num_sites())?;
+        let n = r.len_hint()?;
+        if n != self.cursor.len() {
+            return Err(corrupt(format!(
+                "checkpoint has {n} round-robin cursors, scheduler expects {}",
+                self.cursor.len()
+            )));
+        }
+        let mut cursor = Vec::with_capacity(n);
+        for _ in 0..n {
+            cursor.push(r.usize()?);
+        }
+        self.pools = pools;
+        self.cursor = cursor;
+        Ok(())
     }
 }
 
@@ -145,6 +173,15 @@ impl Scheduler for GreedyEdf {
             }
         }
         cmds
+    }
+
+    fn save_state(&mut self, w: &mut SnapWriter) {
+        snap::write_pools(w, &self.pools);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapshotError> {
+        self.pools = snap::read_pools(r, self.pools.num_sites())?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,118 @@
+//! Checkpoint serialization helpers shared by the baseline schedulers.
+//!
+//! Each scheduler's `save_state`/`load_state` composes these primitives:
+//! per-site pending pools (tasks round-trip through
+//! [`Task::snap_write`]/[`Task::snap_read`]), dense Q-tables, and RNG
+//! streams captured by whitened seed plus raw state words. Readers
+//! validate structure and return typed [`SnapshotError`]s — never panic
+//! on corrupt input.
+
+use crate::common::SitePools;
+use crate::tabular::QTable;
+use simcore::rng::RngStream;
+use snapshot::{corrupt, SnapReader, SnapWriter, SnapshotError};
+use workload::Task;
+
+/// Writes all per-site pending pools.
+pub(crate) fn write_pools(w: &mut SnapWriter, pools: &SitePools) {
+    w.usize(pools.num_sites());
+    for s in 0..pools.num_sites() {
+        let pool = pools.pool(s);
+        w.usize(pool.len());
+        for t in pool {
+            t.snap_write(w);
+        }
+    }
+}
+
+/// Reads pools written by [`write_pools`]; the site count must match the
+/// freshly-constructed scheduler's.
+pub(crate) fn read_pools(
+    r: &mut SnapReader<'_>,
+    expected_sites: usize,
+) -> Result<SitePools, SnapshotError> {
+    let sites = r.len_hint()?;
+    if sites != expected_sites {
+        return Err(corrupt(format!(
+            "checkpoint has {sites} site pools, scheduler expects {expected_sites}"
+        )));
+    }
+    let mut pools = SitePools::new(sites);
+    for s in 0..sites {
+        let n = r.len_hint()?;
+        let pool = pools.pool_mut(s);
+        pool.reserve(n);
+        for _ in 0..n {
+            pool.push(Task::snap_read(r)?);
+        }
+    }
+    Ok(pools)
+}
+
+/// Writes a dense Q-table: dimensions, then raw cost bits, then visits.
+pub(crate) fn write_qtable(w: &mut SnapWriter, q: &QTable) {
+    w.usize(q.num_states());
+    w.usize(q.num_actions());
+    for &v in q.q_values() {
+        w.f64(v);
+    }
+    for &v in q.visit_counts() {
+        w.u32(v);
+    }
+}
+
+/// Restores a Q-table in place; dimensions must match the target table.
+pub(crate) fn read_qtable_into(
+    r: &mut SnapReader<'_>,
+    q: &mut QTable,
+) -> Result<(), SnapshotError> {
+    let states = r.len_hint()?;
+    let actions = r.len_hint()?;
+    if states != q.num_states() || actions != q.num_actions() {
+        return Err(corrupt(format!(
+            "Q-table dims {states}x{actions} do not match expected {}x{}",
+            q.num_states(),
+            q.num_actions()
+        )));
+    }
+    let n = states * actions;
+    let mut costs = Vec::with_capacity(n);
+    for _ in 0..n {
+        costs.push(r.f64()?);
+    }
+    let mut visits = Vec::with_capacity(n);
+    for _ in 0..n {
+        visits.push(r.u32()?);
+    }
+    if !q.restore(&costs, &visits) {
+        return Err(corrupt("Q-table restore rejected buffer lengths"));
+    }
+    Ok(())
+}
+
+/// Writes an RNG stream: whitened seed plus the four raw state words.
+pub(crate) fn write_rng(w: &mut SnapWriter, rng: &RngStream) {
+    w.u64(rng.seed());
+    for word in rng.state() {
+        w.u64(word);
+    }
+}
+
+/// Reads an RNG stream written by [`write_rng`].
+pub(crate) fn read_rng(r: &mut SnapReader<'_>) -> Result<RngStream, SnapshotError> {
+    let seed = r.u64()?;
+    let mut state = [0u64; 4];
+    for word in &mut state {
+        *word = r.u64()?;
+    }
+    Ok(RngStream::from_parts(seed, state))
+}
+
+/// Reads a probability-like value, rejecting anything outside `[0, 1]`.
+pub(crate) fn read_unit_interval(r: &mut SnapReader<'_>, what: &str) -> Result<f64, SnapshotError> {
+    let v = r.f64_finite()?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(corrupt(format!("{what} {v} outside [0, 1]")));
+    }
+    Ok(v)
+}

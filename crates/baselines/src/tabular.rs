@@ -114,6 +114,28 @@ impl QTable {
     pub fn num_actions(&self) -> usize {
         self.actions
     }
+
+    /// The dense `states × actions` cost block (checkpointing).
+    pub fn q_values(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// The dense per-entry visit counters (checkpointing).
+    pub fn visit_counts(&self) -> &[u32] {
+        &self.visits
+    }
+
+    /// Restores table contents captured by a checkpoint. Returns `false`
+    /// (leaving the table untouched) when either buffer length does not
+    /// match this table's dimensions.
+    pub fn restore(&mut self, q: &[f64], visits: &[u32]) -> bool {
+        if q.len() != self.q.len() || visits.len() != self.visits.len() {
+            return false;
+        }
+        self.q.copy_from_slice(q);
+        self.visits.copy_from_slice(visits);
+        true
+    }
 }
 
 /// Clamps a continuous observation into one of `buckets` dense bucket

@@ -5,7 +5,7 @@ use crate::args::{ArgError, Args};
 use crate::select::scheduler_from;
 use experiments::{runner, Scenario, SchedulerKind};
 use metrics::RunSummary;
-use platform::{ExecEngine, PlatformSpec, RunResult};
+use platform::{CheckpointConfig, ExecEngine, PlatformSpec, RunResult};
 use std::sync::Arc;
 use std::time::Duration;
 use telemetry::{ChromeTraceSink, JsonlSink, Recorder, StderrProgress, TraceLevel};
@@ -18,6 +18,8 @@ pub enum CmdError {
     Args(ArgError),
     /// File or trace-format problems.
     Io(std::io::Error),
+    /// Snapshot/checkpoint problems (corrupt, truncated, wrong version…).
+    Snapshot(snapshot::SnapshotError),
     /// Anything else worth reporting verbatim.
     Other(String),
 }
@@ -27,8 +29,15 @@ impl std::fmt::Display for CmdError {
         match self {
             CmdError::Args(e) => write!(f, "{e}"),
             CmdError::Io(e) => write!(f, "{e}"),
+            CmdError::Snapshot(e) => write!(f, "{e}"),
             CmdError::Other(m) => f.write_str(m),
         }
+    }
+}
+
+impl From<snapshot::SnapshotError> for CmdError {
+    fn from(e: snapshot::SnapshotError) -> Self {
+        CmdError::Snapshot(e)
     }
 }
 
@@ -212,19 +221,71 @@ fn summary_block(r: &RunResult) -> String {
     out
 }
 
+/// Finalises the trace recorder and reports any I/O error it swallowed.
+///
+/// A disk-full or read-only trace destination must not cost the run's
+/// in-memory results, so the sinks latch write errors instead of
+/// panicking; here they come back as a WARNING note appended to the
+/// summary rather than an `Err` that would discard it.
+fn finish_recorder(rec: Option<&dyn Recorder>, args: &Args) -> Option<String> {
+    let rec = rec?;
+    rec.finish();
+    rec.io_error().map(|e| {
+        format!(
+            "WARNING: trace file {} is incomplete: {e}\n",
+            args.get("trace").unwrap_or("<unknown>")
+        )
+    })
+}
+
+/// Parses the `--checkpoint-*` flag pair into a [`CheckpointConfig`].
+fn checkpoint_from(args: &Args) -> Result<Option<CheckpointConfig>, CmdError> {
+    let every = args.get_or("checkpoint-every", 0u64)?;
+    match (every, args.get("checkpoint-dir")) {
+        (0, None) => Ok(None),
+        (0, Some(_)) => Err(CmdError::Other(
+            "--checkpoint-dir needs --checkpoint-every N".into(),
+        )),
+        (_, None) => Err(CmdError::Other(
+            "--checkpoint-every needs --checkpoint-dir PATH".into(),
+        )),
+        (n, Some(dir)) => Ok(Some(CheckpointConfig::new(n, dir))),
+    }
+}
+
 /// `arls simulate`.
 pub fn simulate(args: &Args) -> Result<String, CmdError> {
     let mut sc = scenario_from(args)?;
     sc.exec.audit = args.has("audit");
     let kind = scheduler_from(args)?;
     let rec = recorder_from(args)?;
-    let r = match &rec {
-        Some(rec) => runner::run_scenario_traced(&sc, &kind, rec),
-        None => runner::run_scenario(&sc, &kind),
-    };
-    if let Some(rec) = &rec {
-        rec.finish();
+    let ck = checkpoint_from(args)?;
+    if ck.is_some() && (rec.is_some() || sc.exec.audit) {
+        return Err(CmdError::Other(
+            "--checkpoint-every does not compose with --trace/--progress/--audit".into(),
+        ));
     }
+    let mut ck_note = None;
+    let r = match ck {
+        Some(ck) => {
+            let dir = ck.dir.clone();
+            let run = experiments::checkpoint::run_scenario_checkpointed(&sc, &kind, ck);
+            if let Some(e) = run.write_error {
+                return Err(CmdError::Snapshot(e));
+            }
+            ck_note = Some(format!(
+                "checkpoints: {} written to {} (resume with `arls resume SNAPSHOT`)\n",
+                run.checkpoints_written,
+                dir.display()
+            ));
+            run.result
+        }
+        None => match &rec {
+            Some(rec) => runner::run_scenario_traced(&sc, &kind, rec),
+            None => runner::run_scenario(&sc, &kind),
+        },
+    };
+    let trace_note = finish_recorder(rec.as_deref(), args);
     let mut out = String::new();
     let platform = sc.build_platform();
     out.push_str(&format!(
@@ -237,8 +298,18 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
         sc.seed
     ));
     out.push_str(&summary_block(&r));
+    if let Some(note) = ck_note {
+        out.push_str(&note);
+    }
+    if let Some(note) = trace_note {
+        out.push_str(&note);
+    }
     if sc.exec.audit {
-        let report = r.audit.as_ref().expect("audit was requested");
+        let Some(report) = r.audit.as_ref() else {
+            return Err(CmdError::Other(
+                "audit was requested but the engine produced no report".into(),
+            ));
+        };
         if !report.is_clean() {
             return Err(CmdError::Other(format!(
                 "correctness audit FAILED:\n{}",
@@ -272,6 +343,21 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
             ));
         }
     }
+    Ok(out)
+}
+
+/// `arls resume SNAPSHOT` — restore a checkpoint written by
+/// `arls simulate --checkpoint-every N --checkpoint-dir D` (or the
+/// experiments harness) and drive the run to completion.
+pub fn resume(args: &Args) -> Result<String, CmdError> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| CmdError::Other("usage: arls resume SNAPSHOT".into()))?;
+    let r = experiments::resume_run(std::path::Path::new(path))?;
+    let mut out = String::new();
+    out.push_str(&format!("resumed from {path}\n\n"));
+    out.push_str(&summary_block(&r));
     Ok(out)
 }
 
@@ -331,10 +417,12 @@ pub fn trace(args: &Args) -> Result<String, CmdError> {
             let engine = ExecEngine::new(sc.exec);
             let rec = recorder_from(args)?;
             let r = run_trace(&engine, platform, tasks, &kind, rec.as_ref());
-            if let Some(rec) = &rec {
-                rec.finish();
+            let note = finish_recorder(rec.as_deref(), args);
+            let mut out = summary_block(&r);
+            if let Some(note) = note {
+                out.push_str(&note);
             }
-            Ok(summary_block(&r))
+            Ok(out)
         }
         _ => Err(CmdError::Other(
             "usage: arls trace <generate|show|run> …".into(),
@@ -768,6 +856,73 @@ mod tests {
     }
 
     #[test]
+    fn simulate_checkpoints_and_resume_reproduces_the_summary() {
+        let dir = std::env::temp_dir().join(format!("arls_cli_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_string_lossy().into_owned();
+        let line = [
+            "simulate",
+            "--tasks",
+            "90",
+            "--offered",
+            "0.6",
+            "--seed",
+            "13",
+        ];
+        let plain = simulate(&parse(&line)).expect("plain");
+        let mut ck_line = line.to_vec();
+        ck_line.extend(["--checkpoint-every", "100", "--checkpoint-dir", &dir_str]);
+        let ck_out = simulate(&parse(&ck_line)).expect("checkpointed");
+        assert!(
+            ck_out.starts_with(&plain),
+            "checkpointing perturbed the summary:\n{ck_out}\nvs\n{plain}"
+        );
+        assert!(ck_out.contains("checkpoints:"), "missing note in {ck_out}");
+        let mut snaps: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        snaps.sort();
+        assert!(!snaps.is_empty(), "no snapshots written");
+        let snap_str = snaps[0].to_string_lossy().into_owned();
+        let resumed = resume(&parse(&["resume", &snap_str])).expect("resume");
+        // The resumed run's summary block must equal the golden's.
+        let plain_summary = plain
+            .split_once("\n\n")
+            .map(|(_, rest)| rest)
+            .expect("summary");
+        assert!(
+            resumed.contains(plain_summary),
+            "resumed summary diverged:\n{resumed}\nvs\n{plain_summary}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_checkpoint_flags_are_rejected() {
+        assert!(simulate(&parse(&["simulate", "--checkpoint-every", "50"])).is_err());
+        assert!(simulate(&parse(&["simulate", "--checkpoint-dir", "/tmp/x"])).is_err());
+        assert!(simulate(&parse(&[
+            "simulate",
+            "--checkpoint-every",
+            "50",
+            "--checkpoint-dir",
+            "/tmp/arls_cli_ck_audit",
+            "--audit"
+        ]))
+        .is_err());
+        // Missing and corrupt snapshots surface as errors, not panics.
+        assert!(resume(&parse(&["resume"])).is_err());
+        assert!(resume(&parse(&["resume", "/definitely/not/here.snap"])).is_err());
+        let junk = std::env::temp_dir().join(format!("arls_cli_junk_{}.snap", std::process::id()));
+        std::fs::write(&junk, b"not a snapshot at all").expect("write junk");
+        let junk_str = junk.to_string_lossy().into_owned();
+        assert!(resume(&parse(&["resume", &junk_str])).is_err());
+        let _ = std::fs::remove_file(&junk);
+    }
+
+    #[test]
     fn trace_run_accepts_a_recorder() {
         let dir = std::env::temp_dir();
         let bin = dir.join(format!("arls_cli_rerun_{}.bin", std::process::id()));
@@ -792,5 +947,43 @@ mod tests {
         assert!(telemetry::json::parse(&text).is_ok());
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn uncreatable_trace_path_is_a_typed_error() {
+        // Parent of the trace path is a *file*, so creation must fail with
+        // CmdError::Io — before the run starts, never a panic.
+        let blocker = std::env::temp_dir().join(format!("arls_cli_blk_{}", std::process::id()));
+        std::fs::write(&blocker, b"file, not dir").expect("blocker");
+        let path = blocker.join("trace.jsonl");
+        let path_str = path.to_string_lossy().into_owned();
+        let err = simulate(&parse(&["simulate", "--tasks", "40", "--trace", &path_str]))
+            .expect_err("trace into a file's child must fail");
+        assert!(matches!(err, CmdError::Io(_)), "wrong error: {err}");
+        let _ = std::fs::remove_file(&blocker);
+    }
+
+    #[test]
+    fn full_disk_warns_but_keeps_the_summary() {
+        // /dev/full accepts the open but fails every write with ENOSPC —
+        // exactly the disk-full mid-run case. Linux-only; skip elsewhere.
+        if !std::path::Path::new("/dev/full").exists() {
+            return;
+        }
+        let out = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "40",
+            "--seed",
+            "5",
+            "--trace",
+            "/dev/full",
+        ]))
+        .expect("run must survive a full disk");
+        assert!(out.contains("aveRT"), "summary lost: {out}");
+        assert!(
+            out.contains("WARNING: trace file /dev/full is incomplete"),
+            "missing warning: {out}"
+        );
     }
 }

@@ -38,12 +38,21 @@ USAGE:
       --fault-horizon T        stop injecting new faults after this time
       --fault-seed N           dedicated RNG seed for the fault timeline
 
+  checkpoint flags (simulate):
+      --checkpoint-every N     snapshot the full simulation state every N
+                               processed events (atomic, CRC-checked files)
+      --checkpoint-dir PATH    directory the snapshots land in
+
   telemetry flags (simulate, trace run):
       --trace PATH             write a structured trace to PATH
       --trace-format F         jsonl (default) or chrome — the chrome format
                                loads directly in Perfetto (ui.perfetto.dev)
       --trace-level L          cycles, decisions (default) or all
       --progress               live progress line on stderr while running
+
+  arls resume SNAPSHOT
+      restore a checkpoint file and drive the run to completion; the
+      completed run is bit-identical to one that never stopped
 
   arls compare  [--tasks N] [--offered F] [--seed N] [--references]
       run every scheduler on the same scenario and print a comparison table

@@ -8,6 +8,7 @@ fn main() {
     let args = Args::parse(std::env::args().skip(1));
     let result = match args.command() {
         Some("simulate") => commands::simulate(&args),
+        Some("resume") => commands::resume(&args),
         Some("compare") => commands::compare(&args),
         Some("trace") => commands::trace(&args),
         Some("settings") => {

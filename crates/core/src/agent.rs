@@ -108,6 +108,16 @@ impl Agent {
         }
     }
 
+    /// The agent's exploration RNG (checkpointing reads its seed/state).
+    pub fn rng(&self) -> &RngStream {
+        &self.rng
+    }
+
+    /// Replaces the exploration RNG with one rebuilt from a checkpoint.
+    pub fn set_rng(&mut self, rng: RngStream) {
+        self.rng = rng;
+    }
+
     /// Feeds back the success fraction of a completed cycle; arms the
     /// memory-replay rule when it dropped below the previous cycle's.
     pub fn note_reward(&mut self, success: f64) {

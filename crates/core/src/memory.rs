@@ -101,6 +101,20 @@ impl SharedLearningMemory {
     pub fn depth(&self) -> usize {
         self.depth
     }
+
+    /// Number of per-agent rings.
+    pub fn num_agents(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The experiences of one agent, oldest first (checkpointing replays
+    /// them through [`SharedLearningMemory::record`] on restore).
+    ///
+    /// # Panics
+    /// Panics on an out-of-range agent index.
+    pub fn iter_of(&self, agent: u32) -> impl Iterator<Item = &Experience> {
+        self.rings[agent as usize].iter()
+    }
 }
 
 #[cfg(test)]

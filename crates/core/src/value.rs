@@ -103,6 +103,16 @@ impl ValueEstimator {
         self.net.steps()
     }
 
+    /// The underlying network (checkpointing reads its flat buffers).
+    pub fn network(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Mutable network access (checkpointing restores its flat buffers).
+    pub fn network_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+
     /// Single-sample forward passes run so far (the counting probe behind
     /// the `best_action` cost regression test).
     pub fn forward_passes(&self) -> u64 {

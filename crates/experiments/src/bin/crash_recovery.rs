@@ -1,0 +1,190 @@
+//! Crash-recovery harness: kills checkpointed runs at many points and
+//! proves the resume path reproduces the uninterrupted golden run.
+//!
+//! The harness re-executes itself as a child process per kill point (env
+//! `ARL_CRASH_ROLE=child`). The child runs a checkpointed scenario with
+//! crash injection armed — [`std::process::abort`] immediately after the
+//! N-th checkpoint write, no unwinding, exactly like a `kill -9` — while
+//! the parent waits, verifies the abnormal exit, simulates a torn trailing
+//! write on a copy of the newest snapshot (which the CRC'd container must
+//! reject with a typed error), resumes from the newest intact snapshot and
+//! compares the completed run against the golden via
+//! [`platform::replay_divergence`].
+//!
+//! Kill matrix: all six schedulers × two crash depths, plus two
+//! fault-injection rounds — 14 kill points, ≥10 as required. Exit code 0
+//! only if every kill point recovers bit-exactly; on failure the snapshot
+//! directory is kept and its path printed for artifact upload.
+
+use experiments::checkpoint::{list_snapshots, resume_run, run_scenario_checkpointed};
+use experiments::runner::run_scenario;
+use experiments::{Scenario, SchedulerKind};
+use platform::{replay_divergence, CheckpointConfig, FaultSpec};
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+const SEED: u64 = 4242;
+const TASKS: usize = 90;
+const LOAD: f64 = 0.6;
+const EVERY: u64 = 50;
+
+fn kind_by_tag(tag: u8) -> SchedulerKind {
+    match tag {
+        0 => SchedulerKind::Adaptive(Default::default()),
+        1 => SchedulerKind::Online(Default::default()),
+        2 => SchedulerKind::QPlus(Default::default()),
+        3 => SchedulerKind::Prediction(Default::default()),
+        4 => SchedulerKind::RoundRobin,
+        _ => SchedulerKind::GreedyEdf,
+    }
+}
+
+fn scenario(faults: bool) -> Scenario {
+    let mut sc = Scenario::small(SEED, TASKS, LOAD);
+    if faults {
+        sc.exec.faults = FaultSpec {
+            enabled: true,
+            proc_mtbf: 400.0,
+            proc_mttr: 30.0,
+            node_mtbf: 900.0,
+            node_mttr: 80.0,
+            ..FaultSpec::default()
+        };
+    }
+    sc
+}
+
+fn env_u64(key: &str) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing/invalid env {key}"))
+}
+
+/// Child role: run the checkpointed scenario with crash injection armed.
+/// Normally never returns (aborts at the kill point); completing the run
+/// means the kill point lay beyond the final checkpoint — exit 0 and let
+/// the parent decide.
+fn child() -> ExitCode {
+    let kind = kind_by_tag(env_u64("ARL_CRASH_KIND") as u8);
+    let crash_after = env_u64("ARL_CRASH_AFTER");
+    let dir = PathBuf::from(std::env::var("ARL_CRASH_DIR").expect("ARL_CRASH_DIR"));
+    let faults = env_u64("ARL_CRASH_FAULTS") != 0;
+    let ck = CheckpointConfig::new(EVERY, dir).with_crash_after(crash_after);
+    let run = run_scenario_checkpointed(&scenario(faults), &kind, ck);
+    if let Some(e) = run.write_error {
+        eprintln!("child: checkpoint write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn parent() -> ExitCode {
+    let exe = std::env::current_exe().expect("current_exe");
+    // ARL_CRASH_BASE redirects the scratch/artifact directory (CI points
+    // it into the workspace so failing snapshots can be uploaded).
+    let base = std::env::var_os("ARL_CRASH_BASE")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("arl-crash-recovery-{}", std::process::id()))
+        });
+    let mut failures = 0u32;
+    let mut points = 0u32;
+    // Six schedulers × two crash depths without faults, plus two
+    // fault-injection rounds (Adaptive + Q+, the two learners with the
+    // richest state) — 14 kill points.
+    let mut matrix: Vec<(u8, u64, bool)> = Vec::new();
+    for tag in 0u8..6 {
+        matrix.push((tag, 1, false));
+        matrix.push((tag, 3, false));
+    }
+    matrix.push((0, 2, true));
+    matrix.push((2, 2, true));
+    for (tag, crash_after, faults) in matrix {
+        points += 1;
+        let kind = kind_by_tag(tag);
+        let label = kind.label();
+        let dir = base.join(format!("k{tag}-c{crash_after}-f{}", u8::from(faults)));
+        let _ = std::fs::remove_dir_all(&dir);
+        let status = Command::new(&exe)
+            .env("ARL_CRASH_ROLE", "child")
+            .env("ARL_CRASH_KIND", tag.to_string())
+            .env("ARL_CRASH_AFTER", crash_after.to_string())
+            .env("ARL_CRASH_DIR", &dir)
+            .env("ARL_CRASH_FAULTS", u64::from(faults).to_string())
+            .status()
+            .expect("spawn child");
+        let mut fail = |why: String| {
+            eprintln!("FAIL [{label} crash_after={crash_after} faults={faults}]: {why}");
+            eprintln!("     artifacts kept in {}", dir.display());
+            failures += 1;
+        };
+        if status.success() {
+            fail("child finished without crashing (kill point beyond run)".into());
+            continue;
+        }
+        let snaps = match list_snapshots(&dir) {
+            Ok(s) if !s.is_empty() => s,
+            Ok(_) => {
+                fail("no snapshots survived the crash".into());
+                continue;
+            }
+            Err(e) => {
+                fail(format!("cannot list snapshots: {e}"));
+                continue;
+            }
+        };
+        let newest = snaps.last().expect("non-empty").clone();
+        // Torn trailing write: a truncated copy must be *rejected* with a
+        // typed error, never a panic or a silent partial restore.
+        let torn = dir.join("torn-copy.snap");
+        let bytes = std::fs::read(&newest).expect("read snapshot");
+        std::fs::write(&torn, &bytes[..bytes.len() * 3 / 5]).expect("write torn copy");
+        match resume_run(&torn) {
+            Err(_) => {}
+            Ok(_) => {
+                fail("torn snapshot was accepted".into());
+                continue;
+            }
+        }
+        let _ = std::fs::remove_file(&torn);
+        let golden = run_scenario(&scenario(faults), &kind);
+        match resume_run(&newest) {
+            Ok(resumed) => match replay_divergence(&golden, &resumed) {
+                None => {
+                    println!(
+                        "ok   [{label} crash_after={crash_after} faults={faults}] \
+                         {} snapshots, resume from {}",
+                        snaps.len(),
+                        newest.file_name().unwrap_or_default().to_string_lossy()
+                    );
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+                Some(why) => fail(format!("resumed run diverged: {why}")),
+            },
+            Err(e) => fail(format!("resume failed: {e}")),
+        }
+    }
+    println!(
+        "crash-recovery: {}/{points} kill points recovered",
+        points - failures
+    );
+    if failures == 0 {
+        let _ = std::fs::remove_dir_all(&base);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "crash-recovery: {failures} kill points FAILED; artifacts under {}",
+            base.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    if std::env::var("ARL_CRASH_ROLE").as_deref() == Ok("child") {
+        child()
+    } else {
+        parent()
+    }
+}

@@ -19,10 +19,12 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod figures;
 pub mod runner;
 
+pub use checkpoint::{resume_run, run_scenario_checkpointed};
 pub use config::Scenario;
 pub use figures::{experiment1, experiment2, experiment3, Exp1Options, Exp2Options, Exp3Options};
 pub use runner::SchedulerKind;

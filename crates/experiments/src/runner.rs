@@ -67,7 +67,7 @@ impl SchedulerKind {
 
     /// Re-seeds the policy's own RNG from a run seed so replications
     /// differ, deterministically.
-    fn with_seed(&self, seed: u64) -> SchedulerKind {
+    pub(crate) fn with_seed(&self, seed: u64) -> SchedulerKind {
         let mut kind = self.clone();
         match &mut kind {
             SchedulerKind::Adaptive(c) => c.seed = seed ^ 0xA11,

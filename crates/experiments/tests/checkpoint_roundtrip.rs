@@ -1,0 +1,120 @@
+//! Property-based checkpoint round-trip: for random scenarios, scheduler
+//! kinds and checkpoint intervals, resuming from a snapshot taken at a
+//! random event index must reproduce the uninterrupted golden run
+//! bit-exactly, and mangled snapshot files must fail with typed errors —
+//! never panics, never silent partial restores.
+
+use adaptive_rl::AdaptiveRlConfig;
+use experiments::checkpoint::{list_snapshots, resume_run, run_scenario_checkpointed};
+use experiments::{runner, Scenario, SchedulerKind};
+use platform::{replay_divergence, CheckpointConfig, FaultSpec};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn scratch_dir() -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("arl-ckpt-prop-{}-{n}", std::process::id()))
+}
+
+fn kind_strategy() -> impl Strategy<Value = SchedulerKind> {
+    prop_oneof![
+        Just(SchedulerKind::Adaptive(AdaptiveRlConfig::default())),
+        Just(SchedulerKind::Online(Default::default())),
+        Just(SchedulerKind::QPlus(Default::default())),
+        Just(SchedulerKind::Prediction(Default::default())),
+        Just(SchedulerKind::RoundRobin),
+        Just(SchedulerKind::GreedyEdf),
+    ]
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (any::<u64>(), 30usize..90, 0.3f64..1.0, any::<bool>()).prop_map(
+        |(seed, tasks, offered, faults)| {
+            let mut sc = Scenario::small(seed, tasks, offered);
+            if faults {
+                sc.exec.faults = FaultSpec {
+                    enabled: true,
+                    proc_mtbf: 300.0,
+                    proc_mttr: 25.0,
+                    node_mtbf: 800.0,
+                    node_mttr: 60.0,
+                    permanent_fraction: 0.1,
+                    ..FaultSpec::default()
+                };
+            }
+            sc
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn resume_at_random_event_index_is_identity(
+        sc in scenario_strategy(),
+        kind in kind_strategy(),
+        every in 25u64..200,
+        pick in any::<u64>(),
+    ) {
+        let golden = runner::run_scenario(&sc, &kind);
+        let dir = scratch_dir();
+        let run = run_scenario_checkpointed(&sc, &kind, CheckpointConfig::new(every, &dir));
+        prop_assert!(run.write_error.is_none(), "write error: {:?}", run.write_error);
+        prop_assert!(
+            replay_divergence(&golden, &run.result).is_none(),
+            "checkpointing perturbed the run"
+        );
+        let snaps = list_snapshots(&dir).expect("list");
+        // Short run + long interval can legitimately produce no snapshot;
+        // the property is about the ones that exist.
+        if !snaps.is_empty() {
+            let snap = &snaps[pick as usize % snaps.len()];
+            let resumed = resume_run(snap).expect("resume");
+            prop_assert!(
+                replay_divergence(&golden, &resumed).is_none(),
+                "resume from {} diverged", snap.display()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mangled_snapshots_fail_typed_never_panic(
+        sc in scenario_strategy(),
+        kind in kind_strategy(),
+        cut_frac in 0.0f64..1.0,
+        pos in any::<u64>(),
+        mask in any::<u8>(),
+    ) {
+        let dir = scratch_dir();
+        let run = run_scenario_checkpointed(&sc, &kind, CheckpointConfig::new(40, &dir));
+        prop_assert!(run.write_error.is_none());
+        let snaps = list_snapshots(&dir).expect("list");
+        if let Some(snap) = snaps.first() {
+            let bytes = std::fs::read(snap).expect("read");
+            // Truncation at an arbitrary point must yield Err, not panic.
+            let cut = (bytes.len() as f64 * cut_frac) as usize;
+            let torn = dir.join("torn.snap");
+            std::fs::write(&torn, &bytes[..cut.min(bytes.len().saturating_sub(1))]).unwrap();
+            prop_assert!(resume_run(&torn).is_err(), "truncated file accepted");
+            // A flipped byte must be caught (CRC) — or, for a flip that
+            // cancels out (flip_mask 0), still decode to the golden run.
+            let mut flipped = bytes.clone();
+            let i = pos as usize % flipped.len();
+            flipped[i] ^= mask;
+            let bad = dir.join("flip.snap");
+            std::fs::write(&bad, &flipped).unwrap();
+            if mask == 0 {
+                prop_assert!(resume_run(&bad).is_ok());
+            } else {
+                prop_assert!(resume_run(&bad).is_err(), "bit flip at {i} accepted");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

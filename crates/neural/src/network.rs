@@ -319,6 +319,25 @@ impl Mlp {
     pub fn param_count(&self) -> usize {
         self.params.len()
     }
+
+    /// The flat momentum-velocity block, same layout as
+    /// [`Mlp::params`].
+    pub fn velocity(&self) -> &[f64] {
+        &self.velocity
+    }
+
+    /// Restores the training state captured by a checkpoint. Returns
+    /// `false` (leaving the network untouched) when either buffer length
+    /// does not match this network's architecture.
+    pub fn restore_training_state(&mut self, params: &[f64], velocity: &[f64], steps: u64) -> bool {
+        if params.len() != self.params.len() || velocity.len() != self.velocity.len() {
+            return false;
+        }
+        self.params.copy_from_slice(params);
+        self.velocity.copy_from_slice(velocity);
+        self.steps = steps;
+        true
+    }
 }
 
 #[cfg(test)]

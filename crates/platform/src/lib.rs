@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod fault;
 pub mod group;
@@ -42,6 +43,7 @@ pub mod scheduler;
 pub mod topology;
 pub mod view;
 
+pub use checkpoint::{CheckpointConfig, CheckpointedRun};
 pub use engine::{ExecConfig, ExecEngine, RunResult, TaskOutcome, TaskRecord};
 pub use fault::{FaultPlan, FaultSpec, FaultTarget, PlannedFault};
 pub use group::{GroupId, GroupPolicy, TaskGroup};

@@ -327,6 +327,66 @@ impl Processor {
     pub fn failed_time(&self) -> f64 {
         self.failed_time
     }
+
+    /// Instant of the last settled state transition (checkpointing).
+    pub(crate) fn last_transition(&self) -> SimTime {
+        self.last_transition
+    }
+
+    /// Settled busy time, excluding any in-progress interval (checkpointing).
+    pub(crate) fn busy_time_raw(&self) -> f64 {
+        self.busy_time
+    }
+
+    /// Settled energy integral, excluding any in-progress interval
+    /// (checkpointing).
+    pub(crate) fn energy_raw(&self) -> f64 {
+        self.energy
+    }
+
+    /// Idle power parameter this processor was built with (checkpointing).
+    pub(crate) fn p_idle(&self) -> f64 {
+        self.p_idle
+    }
+
+    /// Sleep power parameter this processor was built with (checkpointing).
+    pub(crate) fn p_sleep(&self) -> f64 {
+        self.p_sleep
+    }
+
+    /// Rebuilds a processor from captured accounting state, bypassing the
+    /// transition machinery. Only the checkpoint decoder calls this; it has
+    /// already validated that every float is finite and non-negative.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        speed_mips: f64,
+        p_peak: f64,
+        state: ProcState,
+        last_transition: SimTime,
+        busy_time: f64,
+        idle_time: f64,
+        sleep_time: f64,
+        failed_time: f64,
+        energy: f64,
+        tasks_executed: u64,
+        p_idle: f64,
+        p_sleep: f64,
+    ) -> Self {
+        Processor {
+            speed_mips,
+            p_peak,
+            state,
+            last_transition,
+            busy_time,
+            idle_time,
+            sleep_time,
+            failed_time,
+            energy,
+            tasks_executed,
+            p_idle,
+            p_sleep,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -160,6 +160,30 @@ pub trait Scheduler {
     fn on_tick(&mut self, _now: SimTime, _view: &PlatformView<'_>) -> Vec<Command> {
         Vec::new()
     }
+
+    /// Serializes the scheduler's learning and buffering state into a
+    /// checkpoint byte stream. Must not mutate observable state — a run
+    /// that checkpoints must stay event-for-event identical to one that
+    /// does not. The default writes nothing (stateless policies).
+    fn save_state(&mut self, w: &mut snapshot::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state previously written by
+    /// [`save_state`](Scheduler::save_state) into a freshly-constructed
+    /// scheduler of the same kind and configuration.
+    ///
+    /// # Errors
+    /// Returns a typed [`snapshot::SnapshotError`] on truncated or
+    /// structurally invalid bytes; implementations must never panic on
+    /// corrupt input.
+    fn load_state(
+        &mut self,
+        r: &mut snapshot::SnapReader<'_>,
+    ) -> Result<(), snapshot::SnapshotError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -209,6 +209,20 @@ impl Platform {
         p
     }
 
+    /// Rebuilds a platform from a spec and fully-restored sites
+    /// (checkpoint decode path). The cached aggregates are recomputed from
+    /// the restored node state rather than deserialized, so they cannot
+    /// disagree with ground truth.
+    pub(crate) fn from_parts(spec: PlatformSpec, sites: Vec<Site>) -> Platform {
+        let mut p = Platform {
+            spec,
+            sites,
+            stats: Vec::new(),
+        };
+        p.recompute_stats();
+        p
+    }
+
     /// Rebuilds every [`SiteStats`] from scratch (construction and audit).
     fn recompute_stats(&mut self) {
         self.stats = self.sites.iter().map(Self::naive_site_stats).collect();

@@ -129,6 +129,28 @@ impl<E> Engine<E> {
         self.processed
     }
 
+    /// Read access to the pending future-event list (for checkpointing).
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// The configured event fuse.
+    pub fn fuse(&self) -> u64 {
+        self.fuse
+    }
+
+    /// Rebuilds an engine mid-run from captured state: the pending event
+    /// list, the clock, and the processed-event counter. A run continued
+    /// from here behaves exactly as if the original had never stopped.
+    pub fn from_parts(queue: EventQueue<E>, now: SimTime, processed: u64, fuse: u64) -> Self {
+        Engine {
+            queue,
+            now,
+            processed,
+            fuse,
+        }
+    }
+
     /// Runs `sim` until the queue drains, it stops itself, or the fuse blows.
     pub fn run<S>(&mut self, sim: &mut S) -> RunOutcome
     where
@@ -145,6 +167,39 @@ impl<E> Engine<E> {
             if !sim.on_event(self.now, scheduled.event, &mut handle) {
                 return RunOutcome::Stopped;
             }
+            if self.processed >= self.fuse {
+                return RunOutcome::FuseBlown;
+            }
+        }
+        RunOutcome::Drained
+    }
+
+    /// [`Engine::run`] with a post-event observation hook.
+    ///
+    /// `hook` fires after each event the simulation handles (and chose to
+    /// continue past), receiving the clock, the processed-event count, the
+    /// pending event list, and the simulation itself. The hook runs at a
+    /// quiescent point — no event is in flight — which is exactly the
+    /// boundary a checkpoint must capture. The hook must not alter
+    /// observable simulation state: a hooked run is required to be
+    /// event-for-event identical to a plain [`Engine::run`].
+    pub fn run_hooked<S, F>(&mut self, sim: &mut S, mut hook: F) -> RunOutcome
+    where
+        S: Simulation<Event = E>,
+        F: FnMut(SimTime, u64, &EventQueue<E>, &mut S),
+    {
+        while let Some(scheduled) = self.queue.pop() {
+            debug_assert!(scheduled.time >= self.now, "event queue must be monotone");
+            self.now = scheduled.time;
+            self.processed += 1;
+            let mut handle = EngineHandle {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            if !sim.on_event(self.now, scheduled.event, &mut handle) {
+                return RunOutcome::Stopped;
+            }
+            hook(self.now, self.processed, &self.queue, sim);
             if self.processed >= self.fuse {
                 return RunOutcome::FuseBlown;
             }

@@ -125,6 +125,25 @@ impl<E> EventQueue<E> {
     pub fn pushed(&self) -> u64 {
         self.next_seq
     }
+
+    /// Iterates over pending events in unspecified order (heap layout).
+    ///
+    /// Because every entry carries a unique `(time, seq)` key, a caller that
+    /// needs a canonical ordering — e.g. for checkpoint bytes — can collect
+    /// and sort by that key.
+    pub fn entries(&self) -> impl Iterator<Item = &ScheduledEvent<E>> {
+        self.heap.iter()
+    }
+
+    /// Rebuilds a queue from previously captured entries and the sequence
+    /// counter. The heap's pop order depends only on `(time, seq)`, so the
+    /// insertion order of `entries` is irrelevant.
+    pub fn from_entries(entries: Vec<ScheduledEvent<E>>, next_seq: u64) -> Self {
+        EventQueue {
+            heap: entries.into_iter().collect(),
+            next_seq,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -154,6 +154,21 @@ impl RngStream {
     pub fn seed(&self) -> u64 {
         self.seed
     }
+
+    /// The generator's current raw state, for checkpointing.
+    pub fn state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuilds a stream from its whitened seed and captured generator
+    /// state, resuming the draw sequence exactly where [`state`](Self::state)
+    /// observed it.
+    pub fn from_parts(seed: u64, state: [u64; 4]) -> Self {
+        RngStream {
+            rng: SmallRng::from_state(state),
+            seed,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,708 @@
+//! Versioned, checksummed snapshot container and byte codec.
+//!
+//! A snapshot file is a self-describing binary blob:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  "ARLSNAP\0"
+//! 8       1     format version (currently 1)
+//! 9       8     payload length, little-endian u64
+//! 17      4     CRC-32 (IEEE) of the payload, little-endian u32
+//! 21      n     payload bytes
+//! ```
+//!
+//! The payload itself is an application-defined byte stream built with
+//! [`SnapWriter`] and decoded with [`SnapReader`]. All multi-byte values are
+//! little-endian; floats are serialized as raw IEEE-754 bit patterns so a
+//! round trip is bit-exact. Every decode path is bounds-checked and returns
+//! a typed [`SnapshotError`] — corrupt, truncated, or mismatched input must
+//! never panic.
+//!
+//! Files are written torn-write-safe by [`write_atomic`]: the bytes land in
+//! a temporary sibling file which is fsync'd and then atomically renamed
+//! over the destination, followed by a directory fsync. A reader therefore
+//! observes either the previous snapshot or the complete new one, never a
+//! partial write.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Leading magic bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"ARLSNAP\0";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Size of the fixed header preceding the payload.
+pub const HEADER_LEN: usize = 8 + 1 + 8 + 4;
+
+/// Typed failure modes of snapshot encoding, decoding, and file I/O.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The input ended before the expected number of bytes.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The format version byte is not one this build understands.
+    BadVersion {
+        /// Version byte found in the header.
+        found: u8,
+    },
+    /// The payload checksum does not match the header.
+    BadChecksum {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC computed over the payload.
+        actual: u32,
+    },
+    /// The payload decoded to structurally invalid data.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Truncated { needed, available } => write!(
+                f,
+                "snapshot truncated: needed {needed} bytes, only {available} available"
+            ),
+            SnapshotError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapshotError::BadVersion { found } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads version {FORMAT_VERSION})"
+            ),
+            SnapshotError::BadChecksum { expected, actual } => write!(
+                f,
+                "snapshot checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
+            SnapshotError::Corrupt(why) => write!(f, "snapshot payload corrupt: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Shorthand for a corrupt-payload error.
+pub fn corrupt(why: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(why.into())
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Byte-stream writer.
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte-stream encoder.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        SnapWriter { buf: Vec::new() }
+    }
+
+    /// Consumes the writer and returns the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a u64 (portable across word sizes).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` as its raw bit pattern (bit-exact round trip,
+    /// including NaN payloads and infinities).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed raw byte slice.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes an `Option<u64>` as a presence byte plus the value.
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    /// Writes an `Option<f64>` as a presence byte plus the raw bits.
+    pub fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-stream reader.
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian byte-stream decoder.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a u64 and checks it fits a `usize` on this platform.
+    pub fn usize(&mut self) -> Result<usize, SnapshotError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| corrupt(format!("length {v} exceeds platform usize")))
+    }
+
+    /// Reads a length that must also be plausible given the bytes left —
+    /// guards against huge allocations from corrupt length prefixes.
+    pub fn len_hint(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.usize()?;
+        // Every element of a length-prefixed sequence occupies >= 1 byte.
+        if n > self.remaining() {
+            return Err(corrupt(format!(
+                "sequence length {n} exceeds {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` from its raw bit pattern (any bits, including NaN).
+    pub fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an `f64` and rejects non-finite values.
+    pub fn f64_finite(&mut self) -> Result<f64, SnapshotError> {
+        let v = self.f64()?;
+        if !v.is_finite() {
+            return Err(corrupt(format!("expected finite float, got {v}")));
+        }
+        Ok(v)
+    }
+
+    /// Reads an `f64` and rejects anything that is not finite and `>= 0`
+    /// (the invariant of simulation times and durations).
+    pub fn f64_time(&mut self) -> Result<f64, SnapshotError> {
+        let v = self.f64()?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(corrupt(format!(
+                "expected non-negative finite time, got {v}"
+            )));
+        }
+        Ok(v)
+    }
+
+    /// Reads a bool, rejecting bytes other than 0 and 1.
+    pub fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(corrupt(format!("invalid bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.len_hint()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid UTF-8 in string"))
+    }
+
+    /// Reads a length-prefixed raw byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let n = self.len_hint()?;
+        self.take(n)
+    }
+
+    /// Reads an `Option<u64>` written by [`SnapWriter::opt_u64`].
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads an `Option<f64>` written by [`SnapWriter::opt_f64`].
+    pub fn opt_f64(&mut self) -> Result<Option<f64>, SnapshotError> {
+        if self.bool()? {
+            Ok(Some(self.f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container framing.
+// ---------------------------------------------------------------------------
+
+/// Wraps a payload in the versioned, checksummed snapshot container.
+pub fn encode_container(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(FORMAT_VERSION);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates container framing and returns the payload slice.
+///
+/// Checks, in order: magic, version, declared length vs. actual bytes, and
+/// the payload CRC. Each failure maps to its own [`SnapshotError`] variant.
+pub fn decode_container(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        // An empty or obviously short file: distinguish "not even a magic"
+        // from "header cut off" by checking what prefix we do have.
+        if !MAGIC.starts_with(&bytes[..bytes.len().min(8)]) {
+            return Err(SnapshotError::BadMagic);
+        }
+        return Err(SnapshotError::Truncated {
+            needed: HEADER_LEN,
+            available: bytes.len(),
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = bytes[8];
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::BadVersion { found: version });
+    }
+    let declared = u64::from_le_bytes(bytes[9..17].try_into().expect("8-byte slice"));
+    let declared = usize::try_from(declared).map_err(|_| {
+        corrupt(format!(
+            "declared payload length {declared} overflows usize"
+        ))
+    })?;
+    let expected_crc = u32::from_le_bytes(bytes[17..21].try_into().expect("4-byte slice"));
+    let body = &bytes[HEADER_LEN..];
+    if body.len() < declared {
+        return Err(SnapshotError::Truncated {
+            needed: declared,
+            available: body.len(),
+        });
+    }
+    if body.len() > declared {
+        return Err(corrupt(format!(
+            "trailing garbage: payload declared {declared} bytes, file carries {}",
+            body.len()
+        )));
+    }
+    let actual = crc32(body);
+    if actual != expected_crc {
+        return Err(SnapshotError::BadChecksum {
+            expected: expected_crc,
+            actual,
+        });
+    }
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------------
+// Torn-write-safe file I/O.
+// ---------------------------------------------------------------------------
+
+/// Writes `payload` (container-framed) to `path` atomically.
+///
+/// The bytes are written to a temporary sibling, fsync'd, renamed over the
+/// destination, and the containing directory is fsync'd, so a crash at any
+/// point leaves either the old snapshot or the complete new one on disk.
+pub fn write_atomic(path: &Path, payload: &[u8]) -> Result<(), SnapshotError> {
+    let framed = encode_container(payload);
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| corrupt("snapshot path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp_path = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let mut f = std::fs::File::create(&tmp_path)?;
+    f.write_all(&framed)?;
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp_path, path) {
+        let _ = std::fs::remove_file(&tmp_path);
+        return Err(SnapshotError::Io(e));
+    }
+    if let Some(d) = dir {
+        // Persist the rename itself. Directory fsync is best-effort on
+        // platforms where opening a directory for sync is not supported.
+        if let Ok(dh) = std::fs::File::open(d) {
+            let _ = dh.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads a snapshot file, validates the container, and returns the payload.
+pub fn read_file(path: &Path) -> Result<Vec<u8>, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    let payload = decode_container(&bytes)?;
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitive_round_trip_is_bit_exact() {
+        let mut w = SnapWriter::new();
+        w.u8(0xAB);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX);
+        w.usize(12345);
+        w.f64(-0.0);
+        w.f64(f64::INFINITY);
+        w.f64(1.0 / 3.0);
+        w.bool(true);
+        w.bool(false);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        w.opt_u64(Some(7));
+        w.opt_u64(None);
+        w.opt_f64(Some(f64::NEG_INFINITY));
+        let bytes = w.into_bytes();
+
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.f64().unwrap(), 1.0 / 3.0);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert_eq!(r.opt_u64().unwrap(), Some(7));
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_f64().unwrap(), Some(f64::NEG_INFINITY));
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let mut w = SnapWriter::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..5]);
+        match r.u64() {
+            Err(SnapshotError::Truncated { needed, available }) => {
+                assert_eq!(needed, 8);
+                assert_eq!(available, 5);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_rejects_bogus_lengths() {
+        let mut w = SnapWriter::new();
+        w.usize(usize::MAX);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            SnapReader::new(&bytes).len_hint(),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn reader_rejects_bad_bool_and_bad_utf8() {
+        let mut r = SnapReader::new(&[7]);
+        assert!(matches!(r.bool(), Err(SnapshotError::Corrupt(_))));
+
+        let mut w = SnapWriter::new();
+        w.usize(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(matches!(
+            SnapReader::new(&bytes).str(),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn f64_validators_reject_invalid_values() {
+        let mut w = SnapWriter::new();
+        w.f64(f64::NAN);
+        w.f64(-1.5);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(r.f64_finite(), Err(SnapshotError::Corrupt(_))));
+        assert!(matches!(r.f64_time(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn container_round_trip() {
+        let payload = b"some payload bytes".to_vec();
+        let framed = encode_container(&payload);
+        assert_eq!(decode_container(&framed).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn empty_file_is_rejected_without_panic() {
+        // An empty prefix trivially matches the magic, so an empty file
+        // reports as a truncation (zero bytes available), not BadMagic.
+        assert!(matches!(
+            decode_container(&[]),
+            Err(SnapshotError::Truncated { available: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut framed = encode_container(b"x");
+        framed[0] = b'Z';
+        assert!(matches!(
+            decode_container(&framed),
+            Err(SnapshotError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn wrong_version_byte_is_rejected() {
+        let mut framed = encode_container(b"x");
+        framed[8] = 99;
+        match decode_container(&framed) {
+            Err(SnapshotError::BadVersion { found }) => assert_eq!(found, 99),
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_container_is_rejected() {
+        let framed = encode_container(b"0123456789");
+        // Cut the payload short.
+        assert!(matches!(
+            decode_container(&framed[..framed.len() - 3]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        // Cut inside the header, after the magic.
+        assert!(matches!(
+            decode_container(&framed[..10]),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let mut framed = encode_container(b"checksum-protected payload");
+        let last = framed.len() - 1;
+        framed[last] ^= 0x01;
+        assert!(matches!(
+            decode_container(&framed),
+            Err(SnapshotError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_crc_byte_fails_checksum() {
+        let mut framed = encode_container(b"payload");
+        framed[17] ^= 0xFF;
+        assert!(matches!(
+            decode_container(&framed),
+            Err(SnapshotError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut framed = encode_container(b"payload");
+        framed.push(0);
+        assert!(matches!(
+            decode_container(&framed),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn write_atomic_then_read_round_trips() {
+        let dir = std::env::temp_dir().join(format!("snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        let payload = vec![42u8; 1000];
+        write_atomic(&path, &payload).unwrap();
+        assert_eq!(read_file(&path).unwrap(), payload);
+        // Overwrite is atomic too: the temp file must be gone afterwards.
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(read_file(&path).unwrap(), b"second");
+        assert!(!dir.join("state.snap.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_missing_file_is_io_error() {
+        let err = read_file(Path::new("/definitely/not/here.snap")).unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(_)));
+        // And the error formats without panicking.
+        let _ = format!("{err}");
+    }
+}

@@ -29,6 +29,17 @@ struct ChromeOut {
     w: SinkWriter,
     wrote_any: bool,
     finished: bool,
+    /// First write/flush error; later errors are dropped so the root
+    /// cause is what gets reported.
+    err: Option<io::Error>,
+}
+
+impl ChromeOut {
+    fn note(&mut self, r: io::Result<()>) {
+        if let Err(e) = r {
+            self.err.get_or_insert(e);
+        }
+    }
 }
 
 pub struct ChromeTraceSink {
@@ -53,22 +64,32 @@ impl ChromeTraceSink {
                 w: out,
                 wrote_any: false,
                 finished: false,
+                err: None,
             }),
             stats: StatsCore::new(),
         })
     }
 
+    /// Poison-recovering lock: a panic on another thread mid-write must
+    /// not cascade here — the closing `]` still lands on drop during the
+    /// unwind, keeping the trace loadable.
+    fn lock(&self) -> std::sync::MutexGuard<'_, ChromeOut> {
+        self.out.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Append one record (no surrounding comma) to the streamed array.
     fn emit(&self, record: &str) {
-        let mut out = self.out.lock().expect("chrome writer lock");
+        let mut out = self.lock();
         if out.finished {
             return;
         }
         if out.wrote_any {
-            let _ = out.w.write_all(b",\n");
+            let r = out.w.write_all(b",\n");
+            out.note(r);
         }
         out.wrote_any = true;
-        let _ = out.w.write_all(record.as_bytes());
+        let r = out.w.write_all(record.as_bytes());
+        out.note(r);
     }
 
     /// Common record prefix: name, category, phase, timestamp, pid/tid.
@@ -143,13 +164,19 @@ impl Recorder for ChromeTraceSink {
 
     /// Close the JSON array; idempotent, also invoked on drop.
     fn finish(&self) {
-        let mut out = self.out.lock().expect("chrome writer lock");
+        let mut out = self.lock();
         if out.finished {
             return;
         }
         out.finished = true;
-        let _ = out.w.write_all(b"\n]\n");
-        let _ = out.w.flush();
+        let r = out.w.write_all(b"\n]\n");
+        out.note(r);
+        let r = out.w.flush();
+        out.note(r);
+    }
+
+    fn io_error(&self) -> Option<String> {
+        self.lock().err.as_ref().map(|e| e.to_string())
     }
 }
 
@@ -213,6 +240,56 @@ mod tests {
         assert_eq!(evs[2].get("ph").unwrap().as_str(), Some("C"));
         assert_eq!(evs[3].get("ph").unwrap().as_str(), Some("e"));
         assert_eq!(evs[3].get("id").unwrap().as_f64(), Some(7.0));
+    }
+
+    /// The satellite contract: a trace abandoned mid-run (sink dropped
+    /// without `finish()`) is still a loadable JSON array — the drop path
+    /// writes the closing bracket.
+    #[test]
+    fn dropped_sink_leaves_a_loadable_trace() {
+        let buf = SharedBuf::default();
+        {
+            let sink = ChromeTraceSink::to_writer(Box::new(buf.clone()), TraceLevel::All).unwrap();
+            sink.event("fault", 0.5, 1, &[]);
+            sink.span_begin("group", 9, 0.6, 2, &[]);
+            // No finish(): the run "crashed" here.
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let v = json::parse(&text).expect("partial trace must still parse");
+        assert_eq!(v.as_array().unwrap().len(), 2);
+    }
+
+    /// Same guarantee under a panic unwind: the sink's Drop runs during
+    /// the unwind and closes the array.
+    #[test]
+    fn panic_unwind_still_closes_the_array() {
+        let buf = SharedBuf::default();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let sink = ChromeTraceSink::to_writer(Box::new(buf.clone()), TraceLevel::All).unwrap();
+            sink.event("before-crash", 0.25, 0, &[]);
+            panic!("simulated mid-run crash");
+        }));
+        assert!(result.is_err());
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let v = json::parse(&text).expect("trace after unwind must still parse");
+        let evs = v.as_array().unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].get("name").unwrap().as_str(), Some("before-crash"));
+    }
+
+    #[test]
+    fn write_failure_is_latched_not_panicked() {
+        let sink = ChromeTraceSink::to_writer(
+            Box::new(crate::jsonl::tests::FailingWriter),
+            TraceLevel::All,
+        );
+        // Even the opening bracket fails to land: creation reports it.
+        assert!(sink.is_err());
+        let buf = SharedBuf::default();
+        let sink = ChromeTraceSink::to_writer(Box::new(buf.clone()), TraceLevel::All).unwrap();
+        assert!(sink.io_error().is_none());
+        sink.finish();
+        assert!(sink.io_error().is_none());
     }
 
     #[test]

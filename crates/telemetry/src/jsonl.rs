@@ -18,9 +18,24 @@ use std::sync::Mutex;
 /// buffer in tests.
 pub type SinkWriter = Box<dyn Write + Send>;
 
+struct JsonlOut {
+    w: SinkWriter,
+    /// First write/flush error; later errors are dropped so the root
+    /// cause (e.g. the ENOSPC that started it all) is what gets reported.
+    err: Option<io::Error>,
+}
+
+impl JsonlOut {
+    fn note(&mut self, r: io::Result<()>) {
+        if let Err(e) = r {
+            self.err.get_or_insert(e);
+        }
+    }
+}
+
 pub struct JsonlSink {
     level: TraceLevel,
-    out: Mutex<SinkWriter>,
+    out: Mutex<JsonlOut>,
     stats: StatsCore,
 }
 
@@ -35,17 +50,25 @@ impl JsonlSink {
     pub fn to_writer(out: SinkWriter, level: TraceLevel) -> Self {
         JsonlSink {
             level,
-            out: Mutex::new(out),
+            out: Mutex::new(JsonlOut { w: out, err: None }),
             stats: StatsCore::new(),
         }
     }
 
+    /// Poison-recovering lock: a panic on another thread mid-write must
+    /// not cascade here — the sink keeps accepting lines and still
+    /// flushes on drop during the unwind.
+    fn lock(&self) -> std::sync::MutexGuard<'_, JsonlOut> {
+        self.out.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     fn write_line(&self, line: &str) {
         debug_assert!(line.ends_with('\n'));
-        let mut out = self.out.lock().expect("jsonl writer lock");
+        let mut out = self.lock();
         // A full line per syscall-visible write: atomic w.r.t. other
         // threads sharing this sink.
-        let _ = out.write_all(line.as_bytes());
+        let r = out.w.write_all(line.as_bytes());
+        out.note(r);
     }
 
     fn record(&self, kind: &str, name: &str, t: f64, track: u32) -> String {
@@ -116,8 +139,13 @@ impl Recorder for JsonlSink {
     }
 
     fn finish(&self) {
-        let mut out = self.out.lock().expect("jsonl writer lock");
-        let _ = out.flush();
+        let mut out = self.lock();
+        let r = out.w.flush();
+        out.note(r);
+    }
+
+    fn io_error(&self) -> Option<String> {
+        self.lock().err.as_ref().map(|e| e.to_string())
     }
 }
 
@@ -128,7 +156,7 @@ impl Drop for JsonlSink {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::json;
     use crate::recorder::Value;
@@ -177,5 +205,47 @@ mod tests {
         assert!(sink.wants(TraceLevel::Cycles));
         assert!(!sink.wants(TraceLevel::Decisions));
         assert!(!sink.wants(TraceLevel::All));
+    }
+
+    /// A writer whose disk is always full.
+    pub(crate) struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Err(io::Error::new(io::ErrorKind::StorageFull, "disk full"))
+        }
+    }
+
+    #[test]
+    fn write_failure_is_latched_not_panicked() {
+        let sink = JsonlSink::to_writer(Box::new(FailingWriter), TraceLevel::All);
+        assert!(sink.io_error().is_none());
+        sink.event("cycle", 1.0, 0, &[]);
+        sink.gauge("queue", 2.0, 3.0);
+        sink.finish();
+        let err = sink.io_error().expect("first error latched");
+        assert!(err.contains("disk full"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_keeps_writing() {
+        let buf = SharedBuf::default();
+        let sink =
+            std::sync::Arc::new(JsonlSink::to_writer(Box::new(buf.clone()), TraceLevel::All));
+        // Poison the writer mutex by panicking while holding it.
+        let poisoner = sink.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.out.lock().unwrap();
+            panic!("poison");
+        })
+        .join();
+        sink.event("after", 1.0, 0, &[]);
+        sink.finish();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(text.contains("\"after\""));
+        assert!(sink.io_error().is_none());
     }
 }

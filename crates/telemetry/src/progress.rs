@@ -36,7 +36,9 @@ impl StderrProgress {
     }
 
     fn should_print(&self) -> bool {
-        let mut last = self.last.lock().expect("progress throttle lock");
+        // Poison recovery: the throttle state is just a timestamp, safe
+        // to reuse after a panic elsewhere.
+        let mut last = self.last.lock().unwrap_or_else(|p| p.into_inner());
         let now = Instant::now();
         match *last {
             Some(prev) if now.duration_since(prev) < self.every => false,
@@ -115,6 +117,10 @@ impl Recorder for StderrProgress {
 
     fn finish(&self) {
         self.inner.finish();
+    }
+
+    fn io_error(&self) -> Option<String> {
+        self.inner.io_error()
     }
 }
 

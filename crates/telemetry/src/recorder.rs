@@ -125,6 +125,15 @@ pub trait Recorder: Send + Sync {
     /// Flush and finalise the sink (e.g. close the Chrome JSON array).
     /// Idempotent; recorders must also finalise on drop.
     fn finish(&self) {}
+
+    /// The first write/flush error the sink swallowed, if any.
+    ///
+    /// Sinks never abort a run on I/O failure (a full disk must not cost
+    /// the in-memory results); instead they latch the first error here so
+    /// the caller can surface it after `finish()`.
+    fn io_error(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The no-op recorder: `wants` is `false` for every level, so guarded

@@ -84,6 +84,45 @@ impl Task {
         debug_assert!(window > 0.0, "deadline window must be positive");
         self.size_mi / window
     }
+
+    /// Serializes the task into a checkpoint byte stream (shared by the
+    /// engine checkpointer and every scheduler's pending-pool state).
+    pub fn snap_write(&self, w: &mut snapshot::SnapWriter) {
+        w.u64(self.id.0);
+        w.f64(self.size_mi);
+        w.f64(self.arrival.as_f64());
+        w.f64(self.deadline.as_f64());
+        w.u8(self.priority.index() as u8);
+        w.u32(self.site.0);
+    }
+
+    /// Reads back a task written by [`Task::snap_write`]. Site-index range
+    /// checks are the caller's job (the platform shape is not known here).
+    ///
+    /// # Errors
+    /// Returns a typed error on truncated bytes, non-finite or negative
+    /// sizes/times, or an unknown priority tag; never panics.
+    pub fn snap_read(r: &mut snapshot::SnapReader<'_>) -> Result<Task, snapshot::SnapshotError> {
+        let id = TaskId(r.u64()?);
+        let size_mi = r.f64_time()?;
+        let arrival = SimTime::new(r.f64_time()?);
+        let deadline = SimTime::new(r.f64_time()?);
+        let priority = match r.u8()? {
+            0 => Priority::Low,
+            1 => Priority::Medium,
+            2 => Priority::High,
+            t => return Err(snapshot::corrupt(format!("unknown priority tag {t}"))),
+        };
+        let site = SiteId(r.u32()?);
+        Ok(Task {
+            id,
+            size_mi,
+            arrival,
+            deadline,
+            priority,
+            site,
+        })
+    }
 }
 
 #[cfg(test)]

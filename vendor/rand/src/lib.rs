@@ -202,6 +202,29 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for checkpointing.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from previously captured state.
+        ///
+        /// The all-zero state is a fixed point of xoshiro256++ and cannot be
+        /// produced by [`SeedableRng::seed_from_u64`]; map it to the same
+        /// guard value seeding uses so a restored generator always advances.
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return SmallRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 0, 0, 0],
+                };
+            }
+            SmallRng { s }
+        }
+    }
+
     impl Rng for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
