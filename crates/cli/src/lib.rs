@@ -19,10 +19,13 @@ arls — Adaptive-RL energy-aware scheduling simulator
 
 USAGE:
   arls simulate [--scheduler S] [--tasks N] [--offered F] [--seed N]
-                [--sites N] [--no-split] [--gating] [--csv] [--audit]
-                [fault flags]
+                [--sites N] [--no-split] [--gating] [--precision P]
+                [--csv] [--audit] [fault flags]
       run one scenario and print the run summary
       schedulers: adaptive (default), online, qplus, prediction, rr, greedy
+      --precision selects the adaptive scheduler's value-network kernels:
+      f64 (default, bit-reproducible) or f32 (vectorized; needs a build
+      with `--features f32-kernels`)
       --audit runs the correctness oracle alongside the simulation
       (conservation invariants, shadow energy accounting, replay check)
       and exits non-zero on any violation

@@ -1,20 +1,40 @@
 //! Scheduler selection from command-line names.
 
 use crate::args::{ArgError, Args};
-use adaptive_rl::AdaptiveRlConfig;
+use adaptive_rl::{AdaptiveRlConfig, KernelPrecision};
 use experiments::SchedulerKind;
 
 /// Accepted scheduler names for `--scheduler`.
 pub const SCHEDULER_CHOICES: &str = "adaptive, online, qplus, prediction, rr, greedy";
 
+/// Accepted kernel precisions for `--precision`.
+pub const PRECISION_CHOICES: &str = "f64, f32 (f32 needs the `f32-kernels` build feature)";
+
+/// Resolves `--precision` (default `f64`). `f32` is rejected unless the
+/// kernels were compiled in via the `f32-kernels` cargo feature.
+pub fn precision_from(args: &Args) -> Result<KernelPrecision, ArgError> {
+    let Some(name) = args.get("precision") else {
+        return Ok(KernelPrecision::F64);
+    };
+    match KernelPrecision::parse(name) {
+        Some(p) if p.available() => Ok(p),
+        _ => Err(ArgError::UnknownChoice {
+            flag: "precision".to_string(),
+            value: name.to_string(),
+            choices: PRECISION_CHOICES,
+        }),
+    }
+}
+
 /// Resolves `--scheduler` (default `adaptive`), applying the CLI's
-/// Adaptive-RL modifiers (`--gating`).
+/// Adaptive-RL modifiers (`--gating`, `--precision`).
 pub fn scheduler_from(args: &Args) -> Result<SchedulerKind, ArgError> {
     let name = args.get("scheduler").unwrap_or("adaptive");
     let kind = match name {
         "adaptive" => {
             let cfg = AdaptiveRlConfig {
                 power_gating: args.has("gating"),
+                precision: precision_from(args)?,
                 ..AdaptiveRlConfig::default()
             };
             SchedulerKind::Adaptive(cfg)
@@ -70,6 +90,57 @@ mod tests {
             SchedulerKind::Adaptive(cfg) => assert!(cfg.power_gating),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn precision_defaults_to_f64() {
+        let args = Args::parse(["simulate"]);
+        match scheduler_from(&args).unwrap() {
+            SchedulerKind::Adaptive(cfg) => {
+                assert_eq!(cfg.precision, KernelPrecision::F64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_f64_precision_accepted() {
+        let args = Args::parse(["simulate", "--precision", "f64"]);
+        match scheduler_from(&args).unwrap() {
+            SchedulerKind::Adaptive(cfg) => {
+                assert_eq!(cfg.precision, KernelPrecision::F64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn f32_precision_gated_on_build_feature() {
+        let args = Args::parse(["simulate", "--precision", "f32"]);
+        let got = scheduler_from(&args);
+        // Key on the kernels actually being compiled in, not this crate's
+        // own feature flag: feature unification can enable them from a
+        // sibling crate (e.g. `--features arl-core/f32-kernels`), and the
+        // CLI gate follows the kernels.
+        if KernelPrecision::F32.available() {
+            match got.unwrap() {
+                SchedulerKind::Adaptive(cfg) => {
+                    assert_eq!(cfg.precision, KernelPrecision::F32);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        } else {
+            assert!(matches!(got, Err(ArgError::UnknownChoice { .. })));
+        }
+    }
+
+    #[test]
+    fn bogus_precision_is_reported() {
+        let args = Args::parse(["simulate", "--precision", "f16"]);
+        assert!(matches!(
+            scheduler_from(&args),
+            Err(ArgError::UnknownChoice { .. })
+        ));
     }
 
     #[test]

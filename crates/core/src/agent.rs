@@ -56,6 +56,56 @@ impl Agent {
         self.pending.extend(tasks);
     }
 
+    /// The cheap (non-neural) part of action selection: resolves the
+    /// memory-replay and exploration branches immediately and defers
+    /// value-net exploitation to the caller, returning `(None, Exploit)`.
+    ///
+    /// Splitting selection this way lets the scheduler stage every
+    /// exploiting site's candidates into one batched scoring pass. It
+    /// cannot perturb decisions: each agent draws from its own private RNG
+    /// stream, and the memory/ε branches consume exactly the draws they
+    /// would in the combined formulation.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty.
+    pub fn decide(
+        &mut self,
+        candidates: &[ActionChoice],
+        epsilon: f64,
+        have_value: bool,
+        memory: &SharedLearningMemory,
+        shared: bool,
+        max_procs: usize,
+    ) -> (Option<ActionChoice>, ChoiceSource) {
+        assert!(!candidates.is_empty(), "need candidate actions");
+        if self.consult_memory {
+            self.consult_memory = false;
+            let best = if shared {
+                memory.best_shared()
+            } else {
+                memory.best_of(self.site.0)
+            };
+            if let Some(exp) = best {
+                let mut action = exp.action;
+                // "the value must not exceed the maximum number of
+                // processors in a node" — clamp remembered opnums drawn
+                // from sites with bigger nodes.
+                action.opnum = action.opnum.min(max_procs).max(1);
+                return (Some(action), ChoiceSource::MemoryReplay);
+            }
+        }
+        if self.rng.chance(epsilon) {
+            let pick = self.rng.pick(candidates.len());
+            return (Some(candidates[pick]), ChoiceSource::Explore);
+        }
+        if have_value {
+            (None, ChoiceSource::Exploit)
+        } else {
+            let pick = self.rng.pick(candidates.len());
+            (Some(candidates[pick]), ChoiceSource::Explore)
+        }
+    }
+
     /// Chooses a grouping action.
     ///
     /// Order of precedence:
@@ -78,32 +128,18 @@ impl Agent {
         shared: bool,
         max_procs: usize,
     ) -> (ActionChoice, ChoiceSource) {
-        assert!(!candidates.is_empty(), "need candidate actions");
-        if self.consult_memory {
-            self.consult_memory = false;
-            let best = if shared {
-                memory.best_shared()
-            } else {
-                memory.best_of(self.site.0)
-            };
-            if let Some(exp) = best {
-                let mut action = exp.action;
-                // "the value must not exceed the maximum number of
-                // processors in a node" — clamp remembered opnums drawn
-                // from sites with bigger nodes.
-                action.opnum = action.opnum.min(max_procs).max(1);
-                return (action, ChoiceSource::MemoryReplay);
-            }
-        }
-        if self.rng.chance(epsilon) {
-            let pick = self.rng.pick(candidates.len());
-            return (candidates[pick], ChoiceSource::Explore);
-        }
-        match value {
-            Some(v) => (v.best_action(obs, candidates), ChoiceSource::Exploit),
-            None => {
-                let pick = self.rng.pick(candidates.len());
-                (candidates[pick], ChoiceSource::Explore)
+        match self.decide(
+            candidates,
+            epsilon,
+            value.is_some(),
+            memory,
+            shared,
+            max_procs,
+        ) {
+            (Some(action), src) => (action, src),
+            (None, src) => {
+                let v = value.expect("decide defers only when a value net exists");
+                (v.best_action(obs, candidates), src)
             }
         }
     }

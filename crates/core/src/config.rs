@@ -1,6 +1,7 @@
 //! Adaptive-RL hyper-parameters.
 
 use crate::action::PolicyKind;
+use neural::KernelPrecision;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the Adaptive-RL scheduler.
@@ -64,6 +65,12 @@ pub struct AdaptiveRlConfig {
     /// work again). Irrelevant on a healthy platform, where every node's
     /// availability is 1.
     pub availability_penalty: f64,
+    /// Kernel precision of the neural value path. `F64` (default) is
+    /// bit-reproducible and pinned by the golden tests; `F32` selects the
+    /// vectorization-friendly kernel set and requires the `f32-kernels`
+    /// cargo feature.
+    #[serde(default)]
+    pub precision: KernelPrecision,
 }
 
 impl Default for AdaptiveRlConfig {
@@ -86,6 +93,7 @@ impl Default for AdaptiveRlConfig {
             force_policy: None,
             power_gating: false,
             availability_penalty: 0.0,
+            precision: KernelPrecision::F64,
         }
     }
 }
@@ -120,6 +128,12 @@ impl AdaptiveRlConfig {
         assert!(
             self.availability_penalty >= 0.0,
             "availability penalty must be non-negative"
+        );
+        assert!(
+            self.precision.available(),
+            "precision {} requires kernels not compiled into this build \
+             (rebuild with `--features f32-kernels`)",
+            self.precision.label()
         );
     }
 }

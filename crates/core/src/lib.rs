@@ -40,4 +40,5 @@ pub use action::{ActionChoice, PolicyKind};
 pub use config::AdaptiveRlConfig;
 pub use feedback::learning_value;
 pub use memory::SharedLearningMemory;
+pub use neural::KernelPrecision;
 pub use scheduler::AdaptiveRl;

@@ -7,7 +7,7 @@ use crate::config::AdaptiveRlConfig;
 use crate::feedback::{learning_value, value_target};
 use crate::grouping::{self, MergedGroup};
 use crate::memory::{Experience, SharedLearningMemory};
-use crate::state::SiteObservation;
+use crate::state::{SiteObsCache, SiteObservation};
 use crate::value::ValueEstimator;
 use platform::{
     AssignmentFeedback, Command, GroupFeedback, NodeAddr, PlatformView, ProcAddr, Scheduler,
@@ -25,6 +25,32 @@ struct Sample {
     obs: SiteObservation,
     action: ActionChoice,
     site: u32,
+}
+
+/// One site's phase-A decision, awaiting the batched scoring pass.
+///
+/// `action` is `Some` when the agent resolved the choice without the value
+/// net (memory replay / exploration); `None` marks an exploit decision whose
+/// candidates occupy rows `[start, start + len)` of the estimator's batch.
+#[derive(Debug, Clone, Copy)]
+struct PendingDecision {
+    site: usize,
+    obs: SiteObservation,
+    src: crate::agent::ChoiceSource,
+    action: Option<ActionChoice>,
+    start: usize,
+    len: usize,
+}
+
+/// One eligible node captured by `select_node`'s streaming pass: address,
+/// Eq. (2) capacity, availability penalty, and the deadline-feasibility
+/// screen's verdict.
+#[derive(Debug, Clone, Copy)]
+struct NodeCand {
+    addr: NodeAddr,
+    cap: f64,
+    pen: f64,
+    feasible: bool,
 }
 
 /// The paper's Adaptive-RL energy-management scheduler.
@@ -61,9 +87,23 @@ pub struct AdaptiveRl {
     /// Reusable per-round ledger of queue slots claimed by this round's
     /// dispatches — cleared per site, capacity kept across rounds.
     used_scratch: Vec<(NodeAddr, usize)>,
+    /// Reusable candidate-node pool for `select_node`'s streaming pass —
+    /// overwritten per group, capacity kept across rounds.
+    node_scratch: Vec<NodeCand>,
     /// Reusable candidate-action buffer — refilled per site, capacity
     /// kept across rounds.
     cand_scratch: Vec<ActionChoice>,
+    /// Reusable phase-A decision records — one entry per deciding site,
+    /// cleared per round, capacity kept across rounds.
+    pending_scratch: Vec<PendingDecision>,
+    /// Reusable flat store of every deferred site's candidates, parallel to
+    /// the estimator's batch rows (cleared per round).
+    batch_cands: Vec<ActionChoice>,
+    /// Per-site observation memo, keyed by the platform's site mutation
+    /// epoch — skips the per-node scan when nothing at the site changed
+    /// since the last dispatch (bit-identical reuse, so decisions are
+    /// unaffected).
+    obs_cache: Vec<SiteObsCache>,
     /// Telemetry recorder ([`telemetry::NullRecorder`] unless attached
     /// via [`AdaptiveRl::with_recorder`]); `Arc` so the replicated
     /// runner can share one sink across schedulers.
@@ -93,13 +133,23 @@ impl AdaptiveRl {
         AdaptiveRl {
             agents,
             memory: SharedLearningMemory::new(num_sites, cfg.memory_depth),
-            value: ValueEstimator::new(cfg.hidden, cfg.lr, cfg.momentum, cfg.seed),
+            value: ValueEstimator::with_precision(
+                cfg.hidden,
+                cfg.lr,
+                cfg.momentum,
+                cfg.seed,
+                cfg.precision,
+            ),
             epsilon: cfg.epsilon0,
             cycles: 0,
             issued: VecDeque::new(),
             in_flight: HashMap::new(),
             used_scratch: Vec::new(),
+            node_scratch: Vec::new(),
             cand_scratch: Vec::new(),
+            pending_scratch: Vec::new(),
+            batch_cands: Vec::new(),
+            obs_cache: vec![SiteObsCache::default(); num_sites],
             rec: Arc::new(telemetry::NullRecorder),
             t_dec: false,
             t_cyc: false,
@@ -147,12 +197,15 @@ impl AdaptiveRl {
 
     /// Picks the node whose capacity best fits the group (minimum Eq. (9)
     /// error), honouring queue slots already claimed this round.
+    /// `scratch` is a reusable buffer for the captured candidate pool —
+    /// contents are overwritten.
     fn select_node(
         &self,
         view: &PlatformView<'_>,
         site: SiteId,
         group: &MergedGroup,
         used: &[(NodeAddr, usize)],
+        scratch: &mut Vec<NodeCand>,
     ) -> Option<NodeAddr> {
         use std::cmp::Ordering;
         let pw = Self::group_pw(&group.tasks);
@@ -178,8 +231,7 @@ impl AdaptiveRl {
             // keep nodes that can plausibly finish the group's largest
             // member before the earliest deadline, then minimise Eq. (9)
             // among them (falling back to all eligible nodes when none
-            // qualifies). Two streaming passes over the site's nodes stand
-            // in for the former eligible/feasible Vec materialisations.
+            // qualifies).
             let now = view.now();
             let max_size = group
                 .tasks
@@ -195,9 +247,14 @@ impl AdaptiveRl {
                 let mean_speed = n.raw_speed() / n.num_processors() as f64 * n.throttle();
                 max_size / mean_speed.max(1.0) <= earliest_slack
             };
-            // Pass 1: does the feasibility screen keep anyone, and what is
-            // the pool's minimum capacity under either outcome?
-            let mut any_eligible = false;
+            // One streaming pass over the site's nodes captures each
+            // eligible node's (addr, capacity, penalty, feasibility) in
+            // site order while folding the screen aggregates; selection
+            // then runs over the captured pool without touching node state
+            // again. Nothing mutates between capture and selection, so the
+            // chosen node — values, order, and tie rules — is bit-identical
+            // to the former two-pass formulation.
+            scratch.clear();
             let mut any_feasible = false;
             let mut min_cap_feasible = f64::INFINITY;
             let mut min_cap_eligible = f64::INFINITY;
@@ -205,14 +262,21 @@ impl AdaptiveRl {
                 if !eligible(&n) {
                     continue;
                 }
-                any_eligible = true;
-                min_cap_eligible = min_cap_eligible.min(n.processing_capacity());
-                if feasible(&n) {
+                let cap = n.processing_capacity();
+                min_cap_eligible = min_cap_eligible.min(cap);
+                let fe = feasible(&n);
+                if fe {
                     any_feasible = true;
-                    min_cap_feasible = min_cap_feasible.min(n.processing_capacity());
+                    min_cap_feasible = min_cap_feasible.min(cap);
                 }
+                scratch.push(NodeCand {
+                    addr: n.addr(),
+                    cap,
+                    pen: avail_pen(&n),
+                    feasible: fe,
+                });
             }
-            if !any_eligible {
+            if scratch.is_empty() {
                 return None;
             }
             let min_cap = if any_feasible {
@@ -220,32 +284,27 @@ impl AdaptiveRl {
             } else {
                 min_cap_eligible
             };
-            let in_pool =
-                |n: &platform::NodeView<'_>| eligible(n) && (!any_feasible || feasible(n));
             // §IV.D.1: "a task group with a small pw is required to be
             // executed as early as possible" — when every candidate node
             // over-provides capacity, the earliest finish is the fastest
             // node. Otherwise match pw to capacity (minimum Eq. (9)
-            // error). Pass 2 selects with the original tie rules: max_by
-            // keeps the LAST maximal element, min_by the FIRST minimal.
+            // error). Original tie rules: max_by keeps the LAST maximal
+            // element, min_by the FIRST minimal.
             let mut best: Option<(NodeAddr, f64)> = None;
-            for n in view.site_nodes(site) {
-                if !in_pool(&n) {
-                    continue;
-                }
+            for c in scratch.iter().filter(|c| !any_feasible || c.feasible) {
                 if pw <= min_cap {
                     // The penalty discounts a degraded node's capacity
                     // (no-op at penalty 0 or full availability).
-                    let c = n.processing_capacity() * (1.0 - avail_pen(&n)).max(0.0);
+                    let v = c.cap * (1.0 - c.pen).max(0.0);
                     match best {
-                        Some((_, bc)) if c.total_cmp(&bc) == Ordering::Less => {}
-                        _ => best = Some((n.addr(), c)),
+                        Some((_, bc)) if v.total_cmp(&bc) == Ordering::Less => {}
+                        _ => best = Some((c.addr, v)),
                     }
                 } else {
-                    let e = (1.0 - n.processing_capacity() / pw).abs() + avail_pen(&n);
+                    let e = (1.0 - c.cap / pw).abs() + c.pen;
                     match best {
                         Some((_, be)) if e.total_cmp(&be) != Ordering::Less => {}
-                        _ => best = Some((n.addr(), e)),
+                        _ => best = Some((c.addr, e)),
                     }
                 }
             }
@@ -287,12 +346,28 @@ impl Scheduler for AdaptiveRl {
         };
         let mut cmds = Vec::new();
         let mut used = std::mem::take(&mut self.used_scratch);
+        let mut node_pool = std::mem::take(&mut self.node_scratch);
+        // Phase A: per-site observation and the cheap (non-neural) part of
+        // action selection, staging every exploiting site's candidates into
+        // one scoring batch. Safe to split from dispatch: each agent draws
+        // from its own RNG stream, the memory is read-only here, and each
+        // site's pending pool and observation are independent.
+        let mut decisions = std::mem::take(&mut self.pending_scratch);
+        decisions.clear();
+        let mut batch_cands = std::mem::take(&mut self.batch_cands);
+        batch_cands.clear();
+        self.value.begin_batch();
         for idx in 0..self.agents.len() {
             if self.agents[idx].pending.is_empty() {
                 continue;
             }
             let site = SiteId(idx as u32);
-            let obs = SiteObservation::observe(view, site, &self.agents[idx].pending);
+            let obs = SiteObservation::observe_cached(
+                view,
+                site,
+                &self.agents[idx].pending,
+                &mut self.obs_cache[idx],
+            );
             if obs.max_procs == 0 {
                 continue;
             }
@@ -300,23 +375,47 @@ impl Scheduler for AdaptiveRl {
             if let Some(forced) = self.cfg.force_policy {
                 self.cand_scratch.retain(|c| c.policy == forced);
             }
-            // Disjoint field borrows: the agent (mut), the value net with
-            // its workspace (mut), the candidate scratch and memory
-            // (shared) all live side by side on self.
-            let value = if self.cfg.use_value_net {
-                Some(&mut self.value)
-            } else {
-                None
-            };
-            let (action, src) = self.agents[idx].choose_action(
-                &obs,
+            let (action, src) = self.agents[idx].decide(
                 &self.cand_scratch,
                 self.epsilon,
-                value,
+                self.cfg.use_value_net,
                 &self.memory,
                 self.cfg.use_shared_memory,
                 obs.max_procs,
             );
+            let (start, len) = if action.is_none() {
+                let start = self.value.push_candidates(&obs, &self.cand_scratch);
+                batch_cands.extend_from_slice(&self.cand_scratch);
+                (start, self.cand_scratch.len())
+            } else {
+                (0, 0)
+            };
+            decisions.push(PendingDecision {
+                site: idx,
+                obs,
+                src,
+                action,
+                start,
+                len,
+            });
+        }
+        // One batched kernel pass scores every staged candidate row.
+        if self.value.batch_rows() > 0 {
+            self.value.score_batch();
+        }
+        // Phase B: resolve each site's action (batch argmax for exploit
+        // decisions), then group, place, and emit — in the original site
+        // order, so telemetry, the issued queue, and the command stream are
+        // identical to the per-site formulation.
+        for d in &decisions {
+            let idx = d.site;
+            let site = SiteId(idx as u32);
+            let obs = d.obs;
+            let src = d.src;
+            let action = match d.action {
+                Some(a) => a,
+                None => batch_cands[d.start + self.value.argmax_in(d.start, d.len)],
+            };
             if self.t_cyc && self.cfg.use_shared_memory {
                 if src == crate::agent::ChoiceSource::MemoryReplay {
                     self.mem_hits += 1;
@@ -336,7 +435,7 @@ impl Scheduler for AdaptiveRl {
                 grouping::merge(&mut self.agents[idx].pending, action, now, effective_flush);
             used.clear();
             for group in groups {
-                match self.select_node(view, site, &group, &used) {
+                match self.select_node(view, site, &group, &used, &mut node_pool) {
                     Some(addr) => {
                         match used.iter_mut().find(|(a, _)| *a == addr) {
                             Some((_, c)) => *c += 1,
@@ -391,6 +490,9 @@ impl Scheduler for AdaptiveRl {
             }
         }
         self.used_scratch = used;
+        self.node_scratch = node_pool;
+        self.pending_scratch = decisions;
+        self.batch_cands = batch_cands;
         if let Some(t0) = t0 {
             // Only rounds that produced commands count as decisions.
             if !cmds.is_empty() {
@@ -524,16 +626,21 @@ impl Scheduler for AdaptiveRl {
                 w.u64(exp.cycle);
             }
         }
-        let net = self.value.network();
-        w.usize(net.params().len());
-        for &p in net.params() {
+        // The snapshot surface is f64 in both kernel precisions (f32 → f64
+        // widening is exact), so the byte stream matches the pre-batching
+        // format and f32 runs resume bit-exactly.
+        let mut params = Vec::new();
+        let mut velocity = Vec::new();
+        let steps = self.value.snapshot_into(&mut params, &mut velocity);
+        w.usize(params.len());
+        for &p in &params {
             w.f64(p);
         }
-        w.usize(net.velocity().len());
-        for &v in net.velocity() {
+        w.usize(velocity.len());
+        for &v in &velocity {
             w.f64(v);
         }
-        w.u64(net.steps());
+        w.u64(steps);
         w.usize(self.issued.len());
         for s in &self.issued {
             write_sample(w, s);
@@ -620,13 +727,12 @@ impl Scheduler for AdaptiveRl {
         let steps = r.u64()?;
         if !self
             .value
-            .network_mut()
-            .restore_training_state(&params, velocity.as_slice(), steps)
+            .restore_snapshot(&params, velocity.as_slice(), steps)
         {
             return Err(corrupt(format!(
                 "value net shape mismatch: snapshot has {n_params} params / {n_vel} velocities, \
                  network has {}",
-                self.value.network().param_count()
+                self.value.param_count()
             )));
         }
         let n_issued = r.len_hint()?;

@@ -38,10 +38,34 @@ pub struct SiteObservation {
     pub availability: f64,
 }
 
-impl SiteObservation {
-    /// Observes `site` through `view`, with the agent's current pending
-    /// pool.
-    pub fn observe(view: &PlatformView<'_>, site: SiteId, pending: &[Task]) -> Self {
+/// Memo slot for the platform-derived half of a [`SiteObservation`] —
+/// the per-node scan — keyed by the site's mutation epoch
+/// ([`PlatformView::site_epoch`]). While the epoch holds still, the
+/// stored means are exactly the f64s a fresh scan of the unchanged node
+/// state would produce, so reuse is bit-identical. The pending-pool half
+/// (count and priority mix) changes between dispatches and is recomputed
+/// on every observation — it costs only one walk of the pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiteObsCache {
+    /// Epoch the scan below was taken at; `None` until first use.
+    key: Option<u64>,
+    scan: SiteScan,
+}
+
+/// The node-scan aggregates of one site (the cacheable part of
+/// [`SiteObservation`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct SiteScan {
+    mean_load: f64,
+    mean_queue_free: f64,
+    mean_power_frac: f64,
+    mean_capacity: f64,
+    max_procs: usize,
+    availability: f64,
+}
+
+impl SiteScan {
+    fn observe(view: &PlatformView<'_>, site: SiteId) -> Self {
         let mut n = 0usize;
         let mut load = 0.0;
         let mut qfree = 0.0;
@@ -62,6 +86,45 @@ impl SiteObservation {
             avail += node.availability();
         }
         let nf = n.max(1) as f64;
+        SiteScan {
+            mean_load: load / nf,
+            mean_queue_free: qfree / nf,
+            mean_power_frac: power / nf / 95.0,
+            mean_capacity: cap / nf,
+            max_procs,
+            availability: avail / nf,
+        }
+    }
+}
+
+impl SiteObservation {
+    /// Observes `site` through `view`, with the agent's current pending
+    /// pool.
+    pub fn observe(view: &PlatformView<'_>, site: SiteId, pending: &[Task]) -> Self {
+        Self::assemble(SiteScan::observe(view, site), pending)
+    }
+
+    /// [`SiteObservation::observe`] with the node scan memoized in
+    /// `cache`: when the site's mutation epoch is unchanged since the
+    /// cached scan, the scan is reused bit-for-bit and only the
+    /// pending-pool half is recomputed.
+    pub fn observe_cached(
+        view: &PlatformView<'_>,
+        site: SiteId,
+        pending: &[Task],
+        cache: &mut SiteObsCache,
+    ) -> Self {
+        let epoch = view.site_epoch(site);
+        if cache.key != Some(epoch) {
+            *cache = SiteObsCache {
+                key: Some(epoch),
+                scan: SiteScan::observe(view, site),
+            };
+        }
+        Self::assemble(cache.scan, pending)
+    }
+
+    fn assemble(scan: SiteScan, pending: &[Task]) -> Self {
         let mut mix = [0.0; 3];
         for t in pending {
             mix[t.priority.index()] += 1.0;
@@ -72,14 +135,14 @@ impl SiteObservation {
             }
         }
         SiteObservation {
-            mean_load: load / nf,
-            mean_queue_free: qfree / nf,
-            mean_power_frac: power / nf / 95.0,
-            mean_capacity: cap / nf,
-            max_procs,
+            mean_load: scan.mean_load,
+            mean_queue_free: scan.mean_queue_free,
+            mean_power_frac: scan.mean_power_frac,
+            mean_capacity: scan.mean_capacity,
+            max_procs: scan.max_procs,
             pending: pending.len(),
             priority_mix: mix,
-            availability: avail / nf,
+            availability: scan.availability,
         }
     }
 

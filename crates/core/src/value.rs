@@ -7,43 +7,119 @@
 //!
 //! The estimator owns a reusable [`neural::Workspace`] plus candidate
 //! scratch buffers, so `predict`/`train`/`best_action` are allocation-free
-//! after the first call. `best_action` encodes all candidates into one
-//! scratch matrix and scores them in a single [`Mlp::score_into`] pass —
-//! n forward passes per decision, where the former `max_by`-over-`predict`
-//! formulation re-evaluated both comparands (≈ 2(n−1) passes).
+//! after the first call. Candidate scoring is batched: callers either use
+//! [`ValueEstimator::best_action`] directly, or — as the scheduler's
+//! dispatch loop does — stage *every* site's candidate rows via
+//! [`ValueEstimator::begin_batch`]/[`ValueEstimator::push_candidates`] and
+//! resolve them all through one [`ValueEstimator::score_batch`] pass
+//! followed by per-range [`ValueEstimator::argmax_in`] calls. The argmax
+//! keeps `max_by`'s tie rule (the *last* maximal element wins) in both
+//! precisions.
+//!
+//! # Kernel precision
+//!
+//! The estimator runs on either the reference f64 kernels (default,
+//! bit-reproducible, pinned by goldens) or — behind the `f32-kernels`
+//! cargo feature — the vectorization-friendly f32 kernel set
+//! ([`neural::MlpF32`]). Both start from the identical initialisation, and
+//! the checkpoint surface is f64 in both modes (`f32 → f64` widening is
+//! exact, so f32 runs resume bit-exactly too).
 
 use crate::action::ActionChoice;
 use crate::state::{SiteObservation, STATE_FEATURES};
-use neural::{Activation, Mlp, Sgd, Workspace};
+use neural::{Activation, KernelPrecision, Mlp, Sgd, Workspace};
+#[cfg(feature = "f32-kernels")]
+use neural::{MlpF32, WorkspaceF32};
 
 /// Width of the estimator's input: state features plus action features.
 pub const INPUT_WIDTH: usize = STATE_FEATURES + 3;
 
+/// The active kernel set: exactly one precision is live per estimator.
+#[derive(Debug, Clone)]
+enum Kernel {
+    F64(Mlp),
+    #[cfg(feature = "f32-kernels")]
+    F32(MlpF32),
+}
+
 /// Value estimator: `(state, action) → expected normalised l_val`.
 #[derive(Debug, Clone)]
 pub struct ValueEstimator {
-    net: Mlp,
-    /// Reusable forward/backward scratch.
+    kernel: Kernel,
+    /// Reusable forward/backward scratch (f64 kernels).
     ws: Workspace,
+    /// Reusable forward/backward scratch (f32 kernels).
+    #[cfg(feature = "f32-kernels")]
+    ws32: WorkspaceF32,
     /// Candidate encoding matrix, one `INPUT_WIDTH` row per candidate.
     enc: Vec<f64>,
-    /// Candidate scores, parallel to the encoded rows.
+    /// f32 mirror of the encoding matrix.
+    #[cfg(feature = "f32-kernels")]
+    enc32: Vec<f32>,
+    /// Candidate scores, parallel to the encoded rows (always f64: f32
+    /// scores are widened so the argmax has a single code path).
     scores: Vec<f64>,
+    /// f32 score scratch.
+    #[cfg(feature = "f32-kernels")]
+    scores32: Vec<f32>,
 }
 
 impl ValueEstimator {
-    /// Creates an estimator with one hidden layer of `hidden` units.
+    /// Creates an estimator with one hidden layer of `hidden` units on the
+    /// default (f64) kernels.
     pub fn new(hidden: usize, lr: f64, momentum: f64, seed: u64) -> Self {
-        ValueEstimator {
-            net: Mlp::new(
-                &[INPUT_WIDTH, hidden, 1],
-                Activation::Tanh,
-                Sgd::new(lr, momentum),
-                seed,
+        Self::with_precision(hidden, lr, momentum, seed, KernelPrecision::F64)
+    }
+
+    /// Creates an estimator on the requested kernel precision. Both
+    /// precisions derive from the identical f64 Xavier initialisation.
+    ///
+    /// # Panics
+    /// Panics when `precision` names kernels not compiled into this build
+    /// (`F32` without the `f32-kernels` cargo feature).
+    pub fn with_precision(
+        hidden: usize,
+        lr: f64,
+        momentum: f64,
+        seed: u64,
+        precision: KernelPrecision,
+    ) -> Self {
+        let net = Mlp::new(
+            &[INPUT_WIDTH, hidden, 1],
+            Activation::Tanh,
+            Sgd::new(lr, momentum),
+            seed,
+        );
+        let kernel = match precision {
+            KernelPrecision::F64 => Kernel::F64(net),
+            #[cfg(feature = "f32-kernels")]
+            KernelPrecision::F32 => Kernel::F32(MlpF32::from_f64(&net)),
+            #[cfg(not(feature = "f32-kernels"))]
+            KernelPrecision::F32 => panic!(
+                "f32 kernels are not compiled into this build; \
+                 rebuild with `--features f32-kernels`"
             ),
+        };
+        ValueEstimator {
+            kernel,
             ws: Workspace::default(),
+            #[cfg(feature = "f32-kernels")]
+            ws32: WorkspaceF32::default(),
             enc: Vec::new(),
+            #[cfg(feature = "f32-kernels")]
+            enc32: Vec::new(),
             scores: Vec::new(),
+            #[cfg(feature = "f32-kernels")]
+            scores32: Vec::new(),
+        }
+    }
+
+    /// The kernel precision this estimator runs on.
+    pub fn precision(&self) -> KernelPrecision {
+        match &self.kernel {
+            Kernel::F64(_) => KernelPrecision::F64,
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(_) => KernelPrecision::F32,
         }
     }
 
@@ -56,23 +132,123 @@ impl ValueEstimator {
 
     /// Predicted normalised learning value of `action` in `obs`.
     pub fn predict(&mut self, obs: &SiteObservation, action: ActionChoice) -> f64 {
-        self.net
-            .predict_scalar_into(&Self::encode(obs, action), &mut self.ws)
+        let input = Self::encode(obs, action);
+        match &mut self.kernel {
+            Kernel::F64(net) => net.predict_scalar_into(&input, &mut self.ws),
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(net) => {
+                let mut input32 = [0.0f32; INPUT_WIDTH];
+                for (dst, &src) in input32.iter_mut().zip(&input) {
+                    *dst = src as f32;
+                }
+                f64::from(net.predict_scalar_into(&input32, &mut self.ws32))
+            }
+        }
     }
 
     /// One online training step toward the observed normalised target;
     /// returns the pre-update squared error.
     pub fn train(&mut self, obs: &SiteObservation, action: ActionChoice, target: f64) -> f64 {
-        self.net
-            .train_step(&Self::encode(obs, action), &[target], &mut self.ws)
+        let input = Self::encode(obs, action);
+        match &mut self.kernel {
+            Kernel::F64(net) => net.train_step(&input, &[target], &mut self.ws),
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(net) => {
+                let mut input32 = [0.0f32; INPUT_WIDTH];
+                for (dst, &src) in input32.iter_mut().zip(&input) {
+                    *dst = src as f32;
+                }
+                net.train_step(&input32, &[target as f32], &mut self.ws32)
+            }
+        }
+    }
+
+    /// Starts a fresh scoring batch, discarding previously staged rows.
+    pub fn begin_batch(&mut self) {
+        self.enc.clear();
+        #[cfg(feature = "f32-kernels")]
+        self.enc32.clear();
+    }
+
+    /// Number of candidate rows currently staged.
+    pub fn batch_rows(&self) -> usize {
+        #[cfg(feature = "f32-kernels")]
+        if matches!(self.kernel, Kernel::F32(_)) {
+            return self.enc32.len() / INPUT_WIDTH;
+        }
+        self.enc.len() / INPUT_WIDTH
+    }
+
+    /// Stages every candidate of one decision into the batch matrix;
+    /// returns the starting row index for [`ValueEstimator::argmax_in`].
+    pub fn push_candidates(&mut self, obs: &SiteObservation, candidates: &[ActionChoice]) -> usize {
+        let start = self.batch_rows();
+        // Every candidate row shares the observation's state features —
+        // compute them once per site instead of once per row (the values,
+        // and therefore the staged rows, are bit-identical either way).
+        let state = obs.features();
+        match &self.kernel {
+            Kernel::F64(_) => {
+                for &c in candidates {
+                    self.enc.extend_from_slice(&state);
+                    self.enc.extend_from_slice(&c.features(obs.max_procs));
+                }
+            }
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(_) => {
+                let mut state32 = [0.0f32; STATE_FEATURES];
+                for (dst, &src) in state32.iter_mut().zip(&state) {
+                    *dst = src as f32;
+                }
+                for &c in candidates {
+                    self.enc32.extend_from_slice(&state32);
+                    self.enc32
+                        .extend(c.features(obs.max_procs).iter().map(|&v| v as f32));
+                }
+            }
+        }
+        start
+    }
+
+    /// Scores every staged row in one batched kernel pass. f32 scores are
+    /// widened into the shared f64 score buffer.
+    pub fn score_batch(&mut self) {
+        match &mut self.kernel {
+            Kernel::F64(net) => net.score_into(&self.enc, &mut self.scores, &mut self.ws),
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(net) => {
+                net.score_into(&self.enc32, &mut self.scores32, &mut self.ws32);
+                self.scores.clear();
+                self.scores
+                    .extend(self.scores32.iter().map(|&s| f64::from(s)));
+            }
+        }
+    }
+
+    /// Argmax over the scored rows `[start, start + len)` of the last
+    /// [`ValueEstimator::score_batch`], as an offset into that range.
+    /// Replicates `Iterator::max_by`'s keep-the-last-maximum tie rule.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of bounds.
+    pub fn argmax_in(&self, start: usize, len: usize) -> usize {
+        use std::cmp::Ordering;
+        assert!(len > 0, "need at least one candidate action");
+        let scores = &self.scores[start..start + len];
+        let mut best = 0usize;
+        for (i, s) in scores.iter().enumerate().skip(1) {
+            if s.total_cmp(&scores[best]) != Ordering::Less {
+                best = i;
+            }
+        }
+        best
     }
 
     /// The action among `candidates` with the highest predicted value.
     ///
-    /// Every candidate is encoded into the reusable scratch matrix and
-    /// scored in one batched pass; the argmax over the cached scores keeps
-    /// `max_by`'s tie rule (the *last* maximal element wins), so the choice
-    /// is bit-identical to the pairwise formulation it replaced.
+    /// Single-decision convenience over the batch API: encodes all
+    /// candidates, scores them in one pass, and takes the cached-score
+    /// argmax (bit-identical to the pairwise `max_by` formulation).
     ///
     /// # Panics
     /// Panics if `candidates` is empty.
@@ -81,42 +257,74 @@ impl ValueEstimator {
         obs: &SiteObservation,
         candidates: &[ActionChoice],
     ) -> ActionChoice {
-        use std::cmp::Ordering;
         assert!(!candidates.is_empty(), "need at least one candidate action");
-        self.enc.clear();
-        for &c in candidates {
-            self.enc.extend_from_slice(&Self::encode(obs, c));
-        }
-        self.net
-            .score_into(&self.enc, &mut self.scores, &mut self.ws);
-        let mut best = 0usize;
-        for (i, s) in self.scores.iter().enumerate().skip(1) {
-            if s.total_cmp(&self.scores[best]) != Ordering::Less {
-                best = i;
-            }
-        }
-        candidates[best]
+        self.begin_batch();
+        let start = self.push_candidates(obs, candidates);
+        self.score_batch();
+        candidates[self.argmax_in(start, candidates.len())]
     }
 
     /// Training steps taken so far.
     pub fn steps(&self) -> u64 {
-        self.net.steps()
+        match &self.kernel {
+            Kernel::F64(net) => net.steps(),
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(net) => net.steps(),
+        }
     }
 
-    /// The underlying network (checkpointing reads its flat buffers).
-    pub fn network(&self) -> &Mlp {
-        &self.net
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        match &self.kernel {
+            Kernel::F64(net) => net.param_count(),
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(net) => net.param_count(),
+        }
     }
 
-    /// Mutable network access (checkpointing restores its flat buffers).
-    pub fn network_mut(&mut self) -> &mut Mlp {
-        &mut self.net
+    /// Captures the network's training state for a checkpoint as f64
+    /// buffers (exact in both precisions) and returns the step count.
+    pub fn snapshot_into(&self, params: &mut Vec<f64>, velocity: &mut Vec<f64>) -> u64 {
+        match &self.kernel {
+            Kernel::F64(net) => {
+                params.clear();
+                params.extend_from_slice(net.params());
+                velocity.clear();
+                velocity.extend_from_slice(net.velocity());
+                net.steps()
+            }
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(net) => {
+                net.params_f64_into(params);
+                net.velocity_f64_into(velocity);
+                net.steps()
+            }
+        }
+    }
+
+    /// Restores the training state captured by
+    /// [`ValueEstimator::snapshot_into`]. Returns `false` (leaving the
+    /// estimator untouched) on an architecture mismatch.
+    pub fn restore_snapshot(&mut self, params: &[f64], velocity: &[f64], steps: u64) -> bool {
+        match &mut self.kernel {
+            Kernel::F64(net) => net.restore_training_state(params, velocity, steps),
+            #[cfg(feature = "f32-kernels")]
+            Kernel::F32(net) => net.restore_training_state(params, velocity, steps),
+        }
     }
 
     /// Single-sample forward passes run so far (the counting probe behind
-    /// the `best_action` cost regression test).
+    /// the `best_action` cost regression test), summed across both
+    /// precisions' workspaces.
     pub fn forward_passes(&self) -> u64 {
-        self.ws.forward_passes()
+        #[cfg(feature = "f32-kernels")]
+        {
+            self.ws.forward_passes() + self.ws32.forward_passes()
+        }
+        #[cfg(not(feature = "f32-kernels"))]
+        {
+            self.ws.forward_passes()
+        }
     }
 }
 
@@ -244,5 +452,57 @@ mod tests {
             .map(|(c, _)| c)
             .expect("non-empty");
         assert_eq!(v.best_action(&o, &dup), reference);
+    }
+
+    #[test]
+    fn batched_multi_site_scoring_matches_per_site_best_action() {
+        // Staging several decisions and resolving them through one
+        // score_batch must pick exactly what per-decision best_action picks.
+        let mut v = ValueEstimator::new(8, 0.05, 0.5, 17);
+        let o1 = obs();
+        let mut o2 = obs();
+        o2.mean_load = 4.0;
+        o2.pending = 2;
+        let c1 = ActionChoice::candidates(6);
+        let c2 = ActionChoice::candidates(3);
+        let want1 = v.best_action(&o1, &c1);
+        let want2 = v.best_action(&o2, &c2);
+        v.begin_batch();
+        let s1 = v.push_candidates(&o1, &c1);
+        let s2 = v.push_candidates(&o2, &c2);
+        assert_eq!(v.batch_rows(), c1.len() + c2.len());
+        v.score_batch();
+        assert_eq!(c1[v.argmax_in(s1, c1.len())], want1);
+        assert_eq!(c2[v.argmax_in(s2, c2.len())], want2);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_predictions() {
+        let mut v = ValueEstimator::new(8, 0.05, 0.5, 19);
+        let o = obs();
+        let a = ActionChoice {
+            policy: PolicyKind::Mixed,
+            opnum: 3,
+        };
+        for i in 0..40 {
+            v.train(&o, a, (i % 5) as f64 / 5.0);
+        }
+        let mut params = Vec::new();
+        let mut velocity = Vec::new();
+        let steps = v.snapshot_into(&mut params, &mut velocity);
+        assert_eq!(steps, 40);
+        assert_eq!(params.len(), v.param_count());
+        let before = v.predict(&o, a);
+        let mut fresh = ValueEstimator::new(8, 0.05, 0.5, 19);
+        assert!(fresh.restore_snapshot(&params, &velocity, steps));
+        assert_eq!(fresh.predict(&o, a).to_bits(), before.to_bits());
+        let mut wrong = ValueEstimator::new(4, 0.05, 0.5, 19);
+        assert!(!wrong.restore_snapshot(&params, &velocity, steps));
+    }
+
+    #[test]
+    fn default_precision_is_f64() {
+        let v = ValueEstimator::new(4, 0.05, 0.0, 1);
+        assert_eq!(v.precision(), neural::KernelPrecision::F64);
     }
 }

@@ -15,6 +15,7 @@
 //! cargo run --release -p arl-experiments --bin throughput
 //! ```
 
+use adaptive_rl::{AdaptiveRlConfig, KernelPrecision};
 use experiments::{runner, Scenario, SchedulerKind};
 use platform::PlatformSpec;
 use std::time::Instant;
@@ -32,6 +33,9 @@ fn bench_platform(sites: u32, nodes: u32, procs: u32) -> PlatformSpec {
 
 struct Row {
     label: &'static str,
+    /// Value-kernel precision of the run (`"f64"` for every baseline; an
+    /// extra `"f32"` Adaptive-RL row appears on `f32-kernels` builds).
+    precision: &'static str,
     wall_s: f64,
     tasks: usize,
     events: u64,
@@ -40,9 +44,10 @@ struct Row {
 }
 
 /// Compares the fresh numbers against the committed
-/// `BENCH_throughput.json` (same mode only) and warns — non-fatally —
-/// when throughput dropped by more than 25%, both on the aggregate and
-/// on each per-scheduler row (a regression confined to one scheduler,
+/// `BENCH_throughput.json` (like-for-like only: same mode, and per row
+/// the same label AND kernel precision) and warns — non-fatally — when
+/// throughput dropped by more than 25%, both on the aggregate and on
+/// each per-scheduler row (a regression confined to one scheduler,
 /// e.g. the neural value path of Adaptive RL, barely moves the
 /// aggregate). Wall-clock numbers vary across machines, so this is a
 /// tripwire for gross hot-path regressions, not a CI gate.
@@ -71,9 +76,14 @@ fn check_regression(path: &str, mode: &str, new_tasks_per_s: f64, rows: &[Row]) 
     };
     if let Some(old_rows) = old.get("schedulers").and_then(|v| v.as_array()) {
         for row in rows {
+            // Rows written before the precision field existed were all f64.
             let old_rate = old_rows
                 .iter()
-                .find(|o| o.get("label").and_then(|l| l.as_str()) == Some(row.label))
+                .find(|o| {
+                    o.get("label").and_then(|l| l.as_str()) == Some(row.label)
+                        && o.get("precision").and_then(|p| p.as_str()).unwrap_or("f64")
+                            == row.precision
+                })
                 .and_then(|o| o.get("tasks_per_s"))
                 .and_then(|v| v.as_f64());
             if let Some(old_rate) = old_rate {
@@ -102,14 +112,29 @@ fn main() {
     let mut sc = Scenario::new(0xBE7C, num_tasks, 0.9);
     sc.platform = spec;
 
-    let kinds = SchedulerKind::all_six();
+    // The six standard policies on the reference f64 kernels, plus — on
+    // `f32-kernels` builds — a second Adaptive-RL entry on the vectorized
+    // f32 kernel set (same scenario, so the rows are directly comparable).
+    let mut entries: Vec<(SchedulerKind, &'static str)> = SchedulerKind::all_six()
+        .into_iter()
+        .map(|k| (k, "f64"))
+        .collect();
+    if cfg!(feature = "f32-kernels") {
+        entries.push((
+            SchedulerKind::Adaptive(AdaptiveRlConfig {
+                precision: KernelPrecision::F32,
+                ..AdaptiveRlConfig::default()
+            }),
+            "f32",
+        ));
+    }
 
     println!(
         "throughput benchmark ({mode}): {} sites x {:?} nodes x {:?} procs, {} tasks",
         sc.platform.num_sites, sc.platform.nodes_per_site, sc.platform.procs_per_node, num_tasks
     );
     let mut rows = Vec::new();
-    for kind in &kinds {
+    for (kind, precision) in &entries {
         let t0 = Instant::now();
         // reps >= 1: run the first rep unconditionally, so no
         // Option/expect dance is needed for the final result.
@@ -128,14 +153,16 @@ fn main() {
         let wall = t0.elapsed().as_secs_f64();
         let tasks = num_tasks * reps as usize;
         println!(
-            "  {:<28} {:>8.3}s  {:>10.0} tasks/s  {:>12.0} events/s",
+            "  {:<28} {:>4}  {:>8.3}s  {:>10.0} tasks/s  {:>12.0} events/s",
             kind.label(),
+            precision,
             wall,
             tasks as f64 / wall,
             events as f64 / wall
         );
         rows.push(Row {
             label: kind.label(),
+            precision,
             wall_s: wall,
             tasks,
             events,
@@ -167,9 +194,11 @@ fn main() {
     json.push_str("  \"schedulers\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"label\": \"{}\", \"wall_s\": {:?}, \"tasks_per_s\": {:?}, \
+            "    {{ \"label\": \"{}\", \"precision\": \"{}\", \"wall_s\": {:?}, \
+             \"tasks_per_s\": {:?}, \
              \"events_per_s\": {:?}, \"events\": {}, \"makespan\": {:?}, \"incomplete\": {} }}{}\n",
             r.label,
+            r.precision,
             r.wall_s,
             r.tasks as f64 / r.wall_s,
             r.events as f64 / r.wall_s,

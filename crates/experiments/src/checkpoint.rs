@@ -9,7 +9,7 @@
 
 use crate::config::Scenario;
 use crate::runner::SchedulerKind;
-use adaptive_rl::{AdaptiveRl, AdaptiveRlConfig, PolicyKind};
+use adaptive_rl::{AdaptiveRl, AdaptiveRlConfig, KernelPrecision, PolicyKind};
 use baselines::{
     GreedyEdf, OnlineRl, OnlineRlConfig, PredictionBased, PredictionConfig, QPlusConfig,
     QPlusLearning, RoundRobin,
@@ -19,8 +19,9 @@ use platform::{CheckpointConfig, CheckpointedRun, ExecEngine, RunResult};
 use snapshot::{corrupt, SnapReader, SnapWriter, SnapshotError};
 use std::path::Path;
 
-/// Version byte of the experiments meta blob.
-const META_VERSION: u8 = 1;
+/// Version byte of the experiments meta blob (v2 added the Adaptive-RL
+/// kernel-precision tag).
+const META_VERSION: u8 = 2;
 
 /// Encodes the scheduler kind, its (already seeded) configuration and the
 /// site count into the snapshot meta blob.
@@ -52,6 +53,7 @@ pub fn encode_scheduler_meta(kind: &SchedulerKind, num_sites: usize) -> Vec<u8> 
             });
             w.bool(c.power_gating);
             w.f64(c.availability_penalty);
+            w.u8(c.precision.tag());
         }
         SchedulerKind::Online(c) => {
             w.u8(1);
@@ -129,6 +131,19 @@ pub fn decode_scheduler_meta(meta: &[u8]) -> Result<(SchedulerKind, usize), Snap
             },
             power_gating: r.bool()?,
             availability_penalty: r.f64_finite()?,
+            precision: {
+                let tag = r.u8()?;
+                let p = KernelPrecision::from_tag(tag)
+                    .ok_or_else(|| corrupt(format!("unknown kernel-precision tag {tag}")))?;
+                if !p.available() {
+                    return Err(corrupt(format!(
+                        "snapshot needs {} kernels not compiled into this build \
+                         (rebuild with `--features f32-kernels`)",
+                        p.label()
+                    )));
+                }
+                p
+            },
         }),
         1 => SchedulerKind::Online(OnlineRlConfig {
             alpha: r.f64_finite()?,

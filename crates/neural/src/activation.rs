@@ -27,6 +27,43 @@ impl Activation {
         }
     }
 
+    /// Single-precision [`Activation::apply`] for the `f32-kernels` path.
+    #[cfg(feature = "f32-kernels")]
+    #[inline]
+    pub fn apply_f32(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+        }
+    }
+
+    /// Single-precision [`Activation::derivative`] for the `f32-kernels`
+    /// path; also takes the *pre-activation* input.
+    #[cfg(feature = "f32-kernels")]
+    #[inline]
+    pub fn derivative_f32(self, x: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+        }
+    }
+
     /// Derivative expressed in terms of the *pre-activation* input `x`.
     #[inline]
     pub fn derivative(self, x: f64) -> f64 {

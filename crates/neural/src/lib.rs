@@ -20,10 +20,16 @@ pub mod activation;
 pub mod layer;
 pub mod loss;
 pub mod network;
+#[cfg(feature = "f32-kernels")]
+pub mod network32;
 pub mod optimizer;
+pub mod precision;
 
 pub use activation::Activation;
 pub use layer::Dense;
 pub use loss::{mse, mse_grad, mse_grad_into};
 pub use network::{Mlp, Workspace};
+#[cfg(feature = "f32-kernels")]
+pub use network32::{MlpF32, WorkspaceF32};
 pub use optimizer::Sgd;
+pub use precision::KernelPrecision;

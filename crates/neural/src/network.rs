@@ -20,25 +20,27 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// Where one dense layer sits inside the flat buffers.
+/// Where one dense layer sits inside the flat buffers. Shared with the
+/// single-precision mirror ([`crate::network32`]): the offsets are
+/// element counts, so the same spec addresses an `f32` parameter block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct LayerSpec {
+pub(crate) struct LayerSpec {
     /// Input width.
-    inputs: usize,
+    pub(crate) inputs: usize,
     /// Output width.
-    outputs: usize,
+    pub(crate) outputs: usize,
     /// Offset of the row-major `[outputs × inputs]` weight block.
-    w: usize,
+    pub(crate) w: usize,
     /// Offset of the bias block (`outputs` entries).
-    b: usize,
+    pub(crate) b: usize,
     /// Offset of this layer's input in the workspace activation buffer.
-    x: usize,
+    pub(crate) x: usize,
     /// Offset of this layer's activated output (`= x + inputs`).
-    y: usize,
+    pub(crate) y: usize,
     /// Offset of this layer's pre-activations in the workspace.
-    p: usize,
+    pub(crate) p: usize,
     /// Activation applied to each output.
-    act: Activation,
+    pub(crate) act: Activation,
 }
 
 /// Reusable scratch for forward/backward passes.
@@ -324,6 +326,18 @@ impl Mlp {
     /// [`Mlp::params`].
     pub fn velocity(&self) -> &[f64] {
         &self.velocity
+    }
+
+    /// Layer table, shared with the single-precision mirror.
+    #[cfg(feature = "f32-kernels")]
+    pub(crate) fn layer_specs(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Learning rate and momentum, for the single-precision mirror.
+    #[cfg(feature = "f32-kernels")]
+    pub(crate) fn hyperparams(&self) -> (f64, f64) {
+        (self.lr, self.momentum)
     }
 
     /// Restores the training state captured by a checkpoint. Returns

@@ -155,7 +155,8 @@ impl ExecEngine {
             }
         });
         let events_processed = engine.processed();
-        let result = assemble_result(driver, outcome, events_processed);
+        let max_queue_occupancy = engine.queue().max_occupancy();
+        let result = assemble_result(driver, outcome, events_processed, max_queue_occupancy);
         CheckpointedRun {
             result,
             checkpoints_written: written,
@@ -415,7 +416,13 @@ pub fn resume_from_reader<S: Scheduler>(
     let mut engine = Engine::from_parts(queue, now, processed, fuse);
     let outcome = engine.run(&mut driver);
     let events_processed = engine.processed();
-    Ok(assemble_result(driver, outcome, events_processed))
+    let max_queue_occupancy = engine.queue().max_occupancy();
+    Ok(assemble_result(
+        driver,
+        outcome,
+        events_processed,
+        max_queue_occupancy,
+    ))
 }
 
 // ---------------------------------------------------------------------------

@@ -210,6 +210,11 @@ pub struct RunResult {
     /// Simulation events processed by the event loop — the numerator of
     /// the throughput benchmark's events/sec figure.
     pub events_processed: u64,
+    /// Peak number of pending future events the event queue held at any
+    /// point of the run — sizes the calendar queue's bucket wheel.
+    /// Diagnostics only: excluded from replay comparison.
+    #[serde(default)]
+    pub max_queue_occupancy: usize,
     /// Counter totals and histogram quantiles accumulated by the run's
     /// telemetry recorder. `None` on untraced runs.
     pub telemetry: Option<TelemetrySummary>,
@@ -1422,7 +1427,8 @@ impl ExecEngine {
             driver.emit_progress(engine.now());
         }
         let events_processed = engine.processed();
-        assemble_result(driver, outcome, events_processed)
+        let max_queue_occupancy = engine.queue().max_occupancy();
+        assemble_result(driver, outcome, events_processed, max_queue_occupancy)
     }
 
     /// Builds the driver and a primed engine — the shared front half of
@@ -1536,6 +1542,7 @@ pub(crate) fn assemble_result<S: Scheduler>(
     mut driver: Driver<'_, S>,
     outcome: RunOutcome,
     events_processed: u64,
+    max_queue_occupancy: usize,
 ) -> RunResult {
     let total_procs = driver.platform.num_processors();
     let total_mips: f64 = driver
@@ -1663,6 +1670,7 @@ pub(crate) fn assemble_result<S: Scheduler>(
         records,
         outcome: format!("{outcome:?}"),
         events_processed,
+        max_queue_occupancy,
         telemetry: rec.summary(),
         audit: None,
     };

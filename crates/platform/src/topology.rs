@@ -153,6 +153,15 @@ pub struct Platform {
     pub sites: Vec<Site>,
     /// Incrementally maintained per-site aggregates.
     stats: Vec<SiteStats>,
+    /// Per-site mutation epochs: bumped by every transition wrapper (and,
+    /// conservatively, by every [`Platform::node_mut`] borrow). Two equal
+    /// readings of [`Platform::site_epoch`] bracket a window with no
+    /// node-state change, so site aggregates derived from node caches can
+    /// be memoized against the epoch with exact bit-identity. Not part of
+    /// the serialized platform: checkpoints rebuild state, and a reset
+    /// epoch only costs one cold recomputation.
+    #[serde(skip)]
+    epochs: Vec<u64>,
 }
 
 impl Platform {
@@ -204,6 +213,7 @@ impl Platform {
             spec,
             sites,
             stats: Vec::new(),
+            epochs: Vec::new(),
         };
         p.recompute_stats();
         p
@@ -218,6 +228,7 @@ impl Platform {
             spec,
             sites,
             stats: Vec::new(),
+            epochs: Vec::new(),
         };
         p.recompute_stats();
         p
@@ -273,10 +284,30 @@ impl Platform {
         }
     }
 
+    /// Mutation epoch of `site`: unchanged epoch ⇒ unchanged node state,
+    /// so any aggregate derived from the site's node caches may be reused
+    /// bit-for-bit. Monotonic within a process; resets (to a cold cache
+    /// miss, never a false hit within one platform value) across
+    /// checkpoint restore.
+    pub fn site_epoch(&self, site: SiteId) -> u64 {
+        self.epochs.get(site.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Advances a site's mutation epoch. Lazily sizes the epoch vector so
+    /// deserialized platforms (whose skipped `epochs` field defaults to
+    /// empty) still invalidate correctly on their first mutation.
+    fn bump_epoch(&mut self, s: usize) {
+        if self.epochs.len() < self.sites.len() {
+            self.epochs.resize(self.sites.len(), 0);
+        }
+        self.epochs[s] += 1;
+    }
+
     /// Runs a node mutation, updating the owning site's cached stats from
     /// the node's before/after aggregates (all O(1) reads of node caches).
     fn with_node<R>(&mut self, addr: NodeAddr, f: impl FnOnce(&mut ComputeNode) -> R) -> R {
         let s = addr.site.0 as usize;
+        self.bump_epoch(s);
         let node = &mut self.sites[s].nodes[addr.node as usize];
         let before = (
             node.idle_count(),
@@ -460,6 +491,11 @@ impl Platform {
     /// # Panics
     /// Panics on an out-of-range address.
     pub fn node_mut(&mut self, addr: NodeAddr) -> &mut ComputeNode {
+        // Conservatively treat every mutable borrow as a mutation — the
+        // engine's uses only touch queued-group progress counters, but a
+        // spurious epoch bump costs one cache refill, while a missed one
+        // would serve stale observations.
+        self.bump_epoch(addr.site.0 as usize);
         &mut self.sites[addr.site.0 as usize].nodes[addr.node as usize]
     }
 

@@ -81,6 +81,13 @@ impl<'a> PlatformView<'a> {
         self.platform.reference_speed()
     }
 
+    /// Mutation epoch of `site` (see [`Platform::site_epoch`]): while it
+    /// holds still, site aggregates computed from node state can be
+    /// reused bit-for-bit instead of rescanned.
+    pub fn site_epoch(&self, site: SiteId) -> u64 {
+        self.platform.site_epoch(site)
+    }
+
     /// System-wide energy at the observation instant (`ECS`).
     pub fn total_energy(&self) -> f64 {
         self.platform.total_energy_at(self.now)
