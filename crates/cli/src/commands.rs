@@ -3,12 +3,15 @@
 
 use crate::args::{ArgError, Args};
 use crate::select::scheduler_from;
-use experiments::{runner, Scenario, SchedulerKind};
+use experiments::{runner, Monitor, Scenario, SchedulerKind};
 use metrics::RunSummary;
-use platform::{CheckpointConfig, ExecEngine, PlatformSpec, RunResult};
+use platform::{CheckpointConfig, ExecEngine, PlatformSpec, RunResult, SamplerConfig};
 use std::sync::Arc;
 use std::time::Duration;
-use telemetry::{ChromeTraceSink, JsonlSink, Recorder, StderrProgress, TraceLevel};
+use telemetry::{
+    ChromeTraceSink, JsonlSink, MetricsRegistry, MetricsServer, PhaseProfiler, Recorder,
+    StderrProgress, TraceLevel,
+};
 use workload::{load_trace, save_trace, Task, WorkloadProfile};
 
 /// Errors a command can produce.
@@ -238,6 +241,53 @@ fn finish_recorder(rec: Option<&dyn Recorder>, args: &Args) -> Option<String> {
     })
 }
 
+/// Parses the monitoring flag family (`--metrics-addr`, `--metrics-out`,
+/// `--timeseries`, `--sample-every`, `--profile`) into a [`Monitor`]
+/// attachment plus — when `--metrics-addr` is given — a live
+/// [`MetricsServer`] that must stay alive for the duration of the run.
+///
+/// `--sample-every` without `--timeseries` is accepted but inert,
+/// mirroring how the fault and trace flag families compose. The bound
+/// address is announced on stderr at bind time so a user (or scraper)
+/// can reach `/metrics` while the run is still going.
+fn monitor_from(args: &Args) -> Result<(Monitor, Option<MetricsServer>), CmdError> {
+    let mut monitor = Monitor::default();
+    let mut server = None;
+    if args.has("metrics-addr") || args.has("metrics-out") {
+        monitor.registry = Some(Arc::new(MetricsRegistry::new()));
+    }
+    if let Some(addr) = args.get("metrics-addr") {
+        if addr.is_empty() {
+            return Err(CmdError::Other("--metrics-addr needs HOST:PORT".into()));
+        }
+        let registry = monitor.registry.clone().expect("registry just created");
+        let s = MetricsServer::serve(addr, registry)?;
+        eprintln!("serving metrics on http://{}/metrics", s.local_addr());
+        server = Some(s);
+    }
+    if args.get("metrics-out") == Some("") {
+        return Err(CmdError::Other("--metrics-out needs a file path".into()));
+    }
+    let every = args.get_or("sample-every", 10.0f64)?;
+    if !every.is_finite() || every <= 0.0 {
+        return Err(CmdError::Other("--sample-every must be positive".into()));
+    }
+    match args.get("timeseries") {
+        None => {}
+        Some("") => return Err(CmdError::Other("--timeseries needs a file path".into())),
+        Some(_) => {
+            monitor.sampler = Some(SamplerConfig {
+                every,
+                ..SamplerConfig::default()
+            });
+        }
+    }
+    if args.has("profile") {
+        monitor.profiler = Some(Arc::new(PhaseProfiler::new()));
+    }
+    Ok((monitor, server))
+}
+
 /// Parses the `--checkpoint-*` flag pair into a [`CheckpointConfig`].
 fn checkpoint_from(args: &Args) -> Result<Option<CheckpointConfig>, CmdError> {
     let every = args.get_or("checkpoint-every", 0u64)?;
@@ -253,6 +303,52 @@ fn checkpoint_from(args: &Args) -> Result<Option<CheckpointConfig>, CmdError> {
     }
 }
 
+/// Post-run half of the monitoring flags: the Prometheus dump
+/// (`--metrics-out`), the time-series JSONL (`--timeseries`) and the
+/// profiler table + `PROFILE_*.json` artifact (`--profile`).
+///
+/// Like [`finish_recorder`], output-file problems come back as WARNING
+/// notes rather than errors — the run is already complete and its
+/// summary must not be discarded over a full disk.
+fn finish_monitor(monitor: &Monitor, r: &RunResult, args: &Args) -> String {
+    let mut notes = String::new();
+    if let (Some(reg), Some(path)) = (&monitor.registry, args.get("metrics-out")) {
+        match std::fs::write(path, reg.render()) {
+            Ok(()) => notes.push_str(&format!("metrics: wrote Prometheus dump to {path}\n")),
+            Err(e) => notes.push_str(&format!("WARNING: could not write {path}: {e}\n")),
+        }
+    }
+    if let Some(path) = args.get("timeseries") {
+        match &r.timeseries {
+            Some(ts) => {
+                let write = std::fs::File::create(path).and_then(|mut f| ts.write_jsonl(&mut f));
+                match write {
+                    Ok(()) => notes.push_str(&format!(
+                        "timeseries: {} points (every {} t.u.) written to {path}\n",
+                        ts.points.len(),
+                        ts.sample_every
+                    )),
+                    Err(e) => notes.push_str(&format!("WARNING: could not write {path}: {e}\n")),
+                }
+            }
+            None => notes.push_str(&format!(
+                "WARNING: no time series was sampled; {path} not written\n"
+            )),
+        }
+    }
+    if let Some(prof) = &monitor.profiler {
+        let report = prof.report();
+        notes.push_str("\nprofile (instrumented phases):\n");
+        notes.push_str(&report.render_table());
+        let path = args.get("profile-out").unwrap_or("PROFILE_simulate.json");
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => notes.push_str(&format!("profile: wrote {path}\n")),
+            Err(e) => notes.push_str(&format!("WARNING: could not write {path}: {e}\n")),
+        }
+    }
+    notes
+}
+
 /// `arls simulate`.
 pub fn simulate(args: &Args) -> Result<String, CmdError> {
     let mut sc = scenario_from(args)?;
@@ -260,9 +356,12 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
     let kind = scheduler_from(args)?;
     let rec = recorder_from(args)?;
     let ck = checkpoint_from(args)?;
-    if ck.is_some() && (rec.is_some() || sc.exec.audit) {
+    let (monitor, mut server) = monitor_from(args)?;
+    if ck.is_some() && (rec.is_some() || sc.exec.audit || monitor.is_active() || server.is_some()) {
         return Err(CmdError::Other(
-            "--checkpoint-every does not compose with --trace/--progress/--audit".into(),
+            "--checkpoint-every does not compose with --trace/--progress/--audit/--metrics-*/\
+             --timeseries/--profile"
+                .into(),
         ));
     }
     let mut ck_note = None;
@@ -280,12 +379,19 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
             ));
             run.result
         }
+        None if monitor.is_active() => {
+            runner::run_scenario_monitored(&sc, &kind, rec.as_ref(), &monitor)
+        }
         None => match &rec {
             Some(rec) => runner::run_scenario_traced(&sc, &kind, rec),
             None => runner::run_scenario(&sc, &kind),
         },
     };
+    if let Some(s) = &mut server {
+        s.shutdown();
+    }
     let trace_note = finish_recorder(rec.as_deref(), args);
+    let monitor_notes = finish_monitor(&monitor, &r, args);
     let mut out = String::new();
     let platform = sc.build_platform();
     out.push_str(&format!(
@@ -304,6 +410,7 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
     if let Some(note) = trace_note {
         out.push_str(&note);
     }
+    out.push_str(&monitor_notes);
     if sc.exec.audit {
         let Some(report) = r.audit.as_ref() else {
             return Err(CmdError::Other(
@@ -427,6 +534,150 @@ pub fn trace(args: &Args) -> Result<String, CmdError> {
         _ => Err(CmdError::Other(
             "usage: arls trace <generate|show|run> …".into(),
         )),
+    }
+}
+
+/// One comparable row of a `BENCH_throughput.json` file.
+struct BenchRow {
+    label: String,
+    precision: String,
+    tasks_per_s: f64,
+}
+
+/// The parts of a bench file `arls bench diff` compares.
+struct BenchFile {
+    mode: String,
+    stamp: String,
+    commit: String,
+    rows: Vec<BenchRow>,
+    aggregate: Option<f64>,
+}
+
+fn load_bench(path: &str) -> Result<BenchFile, CmdError> {
+    let text = std::fs::read_to_string(path)?;
+    let v = telemetry::json::parse(&text)
+        .map_err(|e| CmdError::Other(format!("{path}: not valid JSON: {e}")))?;
+    let field = |name: &str, fallback: &str| {
+        v.get(name)
+            .and_then(|m| m.as_str())
+            .unwrap_or(fallback)
+            .to_string()
+    };
+    let rows = v
+        .get("schedulers")
+        .and_then(|s| s.as_array())
+        .map(|arr| {
+            arr.iter()
+                .filter_map(|o| {
+                    Some(BenchRow {
+                        label: o.get("label")?.as_str()?.to_string(),
+                        // Rows written before the precision field existed
+                        // were all f64, matching check_regression in the
+                        // throughput binary.
+                        precision: o
+                            .get("precision")
+                            .and_then(|p| p.as_str())
+                            .unwrap_or("f64")
+                            .to_string(),
+                        tasks_per_s: o.get("tasks_per_s")?.as_f64()?,
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    Ok(BenchFile {
+        mode: field("mode", "?"),
+        stamp: field("generated_utc", "unstamped"),
+        commit: field("git_commit", "unknown"),
+        rows,
+        aggregate: v
+            .path(&["aggregate", "tasks_per_s"])
+            .and_then(|x| x.as_f64()),
+    })
+}
+
+/// `arls bench diff OLD NEW` — per-(label, precision) throughput deltas
+/// between two `BENCH_throughput.json` files, so the perf trajectory
+/// across PRs is recoverable from committed artifacts.
+pub fn bench(args: &Args) -> Result<String, CmdError> {
+    let usage = "usage: arls bench diff OLD.json NEW.json";
+    match args.subcommand() {
+        Some("diff") => {
+            let old_path = args
+                .positional
+                .get(2)
+                .ok_or_else(|| CmdError::Other(usage.into()))?;
+            let new_path = args
+                .positional
+                .get(3)
+                .ok_or_else(|| CmdError::Other(usage.into()))?;
+            let old = load_bench(old_path)?;
+            let new = load_bench(new_path)?;
+            let mut out = String::new();
+            out.push_str(&format!(
+                "old: {old_path} (mode {}, {}, commit {})\n",
+                old.mode, old.stamp, old.commit
+            ));
+            out.push_str(&format!(
+                "new: {new_path} (mode {}, {}, commit {})\n",
+                new.mode, new.stamp, new.commit
+            ));
+            if old.mode != new.mode {
+                out.push_str("WARNING: modes differ; rates are not directly comparable\n");
+            }
+            out.push('\n');
+            out.push_str(&format!(
+                "{:<28} {:>5} {:>14} {:>14} {:>8}\n",
+                "scheduler", "prec", "old tasks/s", "new tasks/s", "delta"
+            ));
+            for row in &new.rows {
+                let old_rate = old
+                    .rows
+                    .iter()
+                    .find(|o| o.label == row.label && o.precision == row.precision)
+                    .map(|o| o.tasks_per_s);
+                match old_rate {
+                    Some(o) if o > 0.0 => out.push_str(&format!(
+                        "{:<28} {:>5} {:>14.0} {:>14.0} {:>+7.1}%\n",
+                        row.label,
+                        row.precision,
+                        o,
+                        row.tasks_per_s,
+                        100.0 * (row.tasks_per_s / o - 1.0)
+                    )),
+                    _ => out.push_str(&format!(
+                        "{:<28} {:>5} {:>14} {:>14.0} {:>8}\n",
+                        row.label, row.precision, "-", row.tasks_per_s, "new"
+                    )),
+                }
+            }
+            for row in &old.rows {
+                let gone = !new
+                    .rows
+                    .iter()
+                    .any(|n| n.label == row.label && n.precision == row.precision);
+                if gone {
+                    out.push_str(&format!(
+                        "{:<28} {:>5} {:>14.0} {:>14} {:>8}\n",
+                        row.label, row.precision, row.tasks_per_s, "-", "gone"
+                    ));
+                }
+            }
+            if let (Some(o), Some(n)) = (old.aggregate, new.aggregate) {
+                if o > 0.0 {
+                    out.push_str(&format!(
+                        "{:<28} {:>5} {:>14.0} {:>14.0} {:>+7.1}%\n",
+                        "aggregate",
+                        "",
+                        o,
+                        n,
+                        100.0 * (n / o - 1.0)
+                    ));
+                }
+            }
+            Ok(out)
+        }
+        _ => Err(CmdError::Other(usage.into())),
     }
 }
 
@@ -947,6 +1198,167 @@ mod tests {
         assert!(telemetry::json::parse(&text).is_ok());
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&bin).ok();
+    }
+
+    #[test]
+    fn monitoring_is_inert_and_writes_artifacts() {
+        let line = [
+            "simulate",
+            "--tasks",
+            "80",
+            "--offered",
+            "0.6",
+            "--seed",
+            "21",
+        ];
+        let plain = simulate(&parse(&line)).expect("plain");
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let metrics = dir.join(format!("arls_cli_mon_{pid}.prom"));
+        let series = dir.join(format!("arls_cli_mon_{pid}.jsonl"));
+        let profile = dir.join(format!("arls_cli_mon_{pid}_profile.json"));
+        let (m_str, s_str, p_str) = (
+            metrics.to_string_lossy().into_owned(),
+            series.to_string_lossy().into_owned(),
+            profile.to_string_lossy().into_owned(),
+        );
+        let mut mon_line = line.to_vec();
+        mon_line.extend([
+            "--metrics-out",
+            &m_str,
+            "--timeseries",
+            &s_str,
+            "--sample-every",
+            "25",
+            "--profile",
+            "--profile-out",
+            &p_str,
+        ]);
+        let monitored = simulate(&parse(&mon_line)).expect("monitored");
+        // Monitoring is an observer: the run summary itself is unchanged.
+        assert!(
+            monitored.starts_with(&plain),
+            "monitoring perturbed the summary:\n{monitored}\nvs\n{plain}"
+        );
+        assert!(monitored.contains("profile (instrumented phases):"));
+        assert!(monitored.contains("event_handle"));
+
+        let prom = std::fs::read_to_string(&metrics).expect("metrics dump");
+        assert!(prom.contains("# TYPE arls_tasks_completed_total counter"));
+        assert!(prom.contains("arls_site_power_watts{site=\"0\"}"));
+
+        let ts = std::fs::read_to_string(&series).expect("timeseries");
+        let mut lines = ts.lines();
+        let meta = telemetry::json::parse(lines.next().expect("meta line")).expect("meta JSON");
+        assert_eq!(
+            meta.path(&["meta", "sample_every"])
+                .and_then(|v| v.as_f64()),
+            Some(25.0)
+        );
+        let mut points = 0;
+        for line in lines {
+            let v = telemetry::json::parse(line).unwrap_or_else(|e| panic!("bad {line}: {e}"));
+            assert!(v.get("t").and_then(|t| t.as_f64()).is_some());
+            points += 1;
+        }
+        assert!(points > 0, "no sample points in {ts}");
+
+        let prof = std::fs::read_to_string(&profile).expect("profile artifact");
+        let v = telemetry::json::parse(&prof).expect("profile JSON");
+        assert_eq!(
+            v.get("phases").and_then(|p| p.as_array()).map(|a| a.len()),
+            Some(telemetry::PHASES.len())
+        );
+        for p in [&metrics, &series, &profile] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn audit_composes_with_a_live_metrics_endpoint() {
+        // The acceptance path: an audited run with a live /metrics
+        // listener stays clean and replays bit-identically.
+        let out = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "70",
+            "--offered",
+            "0.6",
+            "--seed",
+            "9",
+            "--audit",
+            "--metrics-addr",
+            "127.0.0.1:0",
+        ]))
+        .expect("audited monitored run");
+        assert!(out.contains("clean"), "audit not clean: {out}");
+        assert!(out.contains("replay: bit-identical"));
+    }
+
+    #[test]
+    fn bench_diff_reports_per_row_deltas() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let old = dir.join(format!("arls_cli_bench_old_{pid}.json"));
+        let new = dir.join(format!("arls_cli_bench_new_{pid}.json"));
+        std::fs::write(
+            &old,
+            r#"{"mode":"full","generated_utc":"2026-08-01T00:00:00Z","git_commit":"aaaa",
+               "schedulers":[
+                 {"label":"Adaptive-RL","precision":"f64","tasks_per_s":1000.0},
+                 {"label":"Old only","precision":"f64","tasks_per_s":50.0}],
+               "aggregate":{"tasks_per_s":1000.0}}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &new,
+            r#"{"mode":"full","generated_utc":"2026-08-02T00:00:00Z","git_commit":"bbbb",
+               "schedulers":[
+                 {"label":"Adaptive-RL","precision":"f64","tasks_per_s":1200.0},
+                 {"label":"Adaptive-RL","precision":"f32","tasks_per_s":1500.0}],
+               "aggregate":{"tasks_per_s":1200.0}}"#,
+        )
+        .unwrap();
+        let (old_str, new_str) = (
+            old.to_string_lossy().into_owned(),
+            new.to_string_lossy().into_owned(),
+        );
+        let out = bench(&parse(&["bench", "diff", &old_str, &new_str])).expect("diff");
+        assert!(out.contains("+20.0%"), "missing f64 delta in {out}");
+        assert!(out.contains("new"), "unmatched new row not marked: {out}");
+        assert!(out.contains("gone"), "vanished old row not marked: {out}");
+        assert!(out.contains("aggregate"), "missing aggregate row: {out}");
+        assert!(out.contains("aaaa") && out.contains("bbbb"));
+        std::fs::remove_file(&old).ok();
+        std::fs::remove_file(&new).ok();
+    }
+
+    #[test]
+    fn bad_monitoring_flags_are_rejected() {
+        assert!(simulate(&parse(&["simulate", "--metrics-addr"])).is_err());
+        assert!(simulate(&parse(&["simulate", "--metrics-out"])).is_err());
+        assert!(simulate(&parse(&["simulate", "--timeseries"])).is_err());
+        assert!(simulate(&parse(&[
+            "simulate",
+            "--timeseries",
+            "/tmp/ts.jsonl",
+            "--sample-every",
+            "0"
+        ]))
+        .is_err());
+        // Monitoring does not compose with checkpointing.
+        assert!(simulate(&parse(&[
+            "simulate",
+            "--checkpoint-every",
+            "50",
+            "--checkpoint-dir",
+            "/tmp/arls_cli_ck_mon",
+            "--profile"
+        ]))
+        .is_err());
+        assert!(bench(&parse(&["bench"])).is_err());
+        assert!(bench(&parse(&["bench", "diff"])).is_err());
+        assert!(bench(&parse(&["bench", "diff", "/no/old.json", "/no/new.json"])).is_err());
     }
 
     #[test]

@@ -53,6 +53,22 @@ USAGE:
       --trace-level L          cycles, decisions (default) or all
       --progress               live progress line on stderr while running
 
+  monitoring flags (simulate):
+      --metrics-addr HOST:PORT serve live Prometheus metrics on /metrics for
+                               the duration of the run (port 0 picks a free
+                               port; the bound address is printed to stderr)
+      --metrics-out PATH       write a final Prometheus text-format dump
+      --timeseries PATH        sample per-site power/energy/queue state into
+                               a JSONL time series at PATH
+      --sample-every T         time-series cadence in sim time units
+                               (default 10; samples land on control ticks)
+      --profile                time the hot-path phases (event pop/handle,
+                               observation build, scoring, training,
+                               checkpoint writes); prints a phase table and
+                               writes a PROFILE_*.json artifact
+      --profile-out PATH       where --profile writes its JSON artifact
+                               (default PROFILE_simulate.json)
+
   arls resume SNAPSHOT
       restore a checkpoint file and drive the run to completion; the
       completed run is bit-identical to one that never stopped
@@ -68,6 +84,9 @@ USAGE:
 
   arls trace run PATH [--scheduler S] [--seed N]
       replay a trace file through a scheduler
+
+  arls bench diff OLD.json NEW.json
+      compare two BENCH_throughput.json files per (scheduler, precision) row
 
   arls settings
       print the paper-vs-reproduction experiment settings table

@@ -11,6 +11,7 @@ fn main() {
         Some("resume") => commands::resume(&args),
         Some("compare") => commands::compare(&args),
         Some("trace") => commands::trace(&args),
+        Some("bench") => commands::bench(&args),
         Some("settings") => {
             // Same content as the arl-experiments `settings` binary.
             let sc = experiments::Scenario::new(2011, 3000, 1.0);

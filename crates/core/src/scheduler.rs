@@ -10,13 +10,14 @@ use crate::memory::{Experience, SharedLearningMemory};
 use crate::state::{SiteObsCache, SiteObservation};
 use crate::value::ValueEstimator;
 use platform::{
-    AssignmentFeedback, Command, GroupFeedback, NodeAddr, PlatformView, ProcAddr, Scheduler,
+    AssignmentFeedback, Command, GroupFeedback, LiveMetrics, NodeAddr, PlatformView, ProcAddr,
+    Scheduler,
 };
 use simcore::rng::RngStream;
 use simcore::time::SimTime;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use telemetry::{Recorder, TraceLevel, Value};
+use telemetry::{Phase, PhaseProfiler, Recorder, TraceLevel, Value};
 use workload::{SiteId, Task};
 
 /// A dispatched-but-unresolved sample awaiting its reward.
@@ -116,6 +117,12 @@ pub struct AdaptiveRl {
     /// fell through to ε-greedy (tracked only while tracing).
     mem_hits: u64,
     mem_misses: u64,
+    /// Live metric handles (decision-latency histogram, ε gauge);
+    /// `None` keeps the hot path a single predictable branch.
+    mon: Option<Arc<LiveMetrics>>,
+    /// Phase profiler for `--profile` runs; `None` skips every clock
+    /// read around observation build / scoring / training.
+    prof: Option<Arc<PhaseProfiler>>,
 }
 
 impl AdaptiveRl {
@@ -155,6 +162,8 @@ impl AdaptiveRl {
             t_cyc: false,
             mem_hits: 0,
             mem_misses: 0,
+            mon: None,
+            prof: None,
             cfg,
         }
     }
@@ -167,6 +176,24 @@ impl AdaptiveRl {
         self.t_dec = rec.wants(TraceLevel::Decisions);
         self.t_cyc = rec.wants(TraceLevel::Cycles);
         self.rec = rec;
+        self
+    }
+
+    /// Attaches live metric handles: every dispatch round that produced
+    /// commands observes its wall-clock latency into
+    /// `arls_decision_latency_seconds`, and every learning cycle updates
+    /// the `arls_epsilon` gauge. Strictly observing.
+    pub fn with_metrics(mut self, mon: Arc<LiveMetrics>) -> Self {
+        self.mon = Some(mon);
+        self
+    }
+
+    /// Attaches a phase profiler: observation building, batched candidate
+    /// scoring and value-net training report their wall time. Strictly
+    /// observing; without it the scheduler never reads the clock for
+    /// profiling.
+    pub fn with_profiler(mut self, prof: Arc<PhaseProfiler>) -> Self {
+        self.prof = Some(prof);
         self
     }
 
@@ -337,9 +364,9 @@ impl Scheduler for AdaptiveRl {
     }
 
     fn dispatch(&mut self, now: SimTime, view: &PlatformView<'_>) -> Vec<Command> {
-        // Wall-clock only ticks while tracing; the untraced path never
-        // touches `Instant`.
-        let t0 = if self.t_dec {
+        // Wall-clock only ticks while tracing or monitoring; the plain
+        // path never touches `Instant`.
+        let t0 = if self.t_dec || self.mon.is_some() {
             Some(std::time::Instant::now())
         } else {
             None
@@ -362,12 +389,16 @@ impl Scheduler for AdaptiveRl {
                 continue;
             }
             let site = SiteId(idx as u32);
+            let obs_t = self.prof.as_ref().map(|_| std::time::Instant::now());
             let obs = SiteObservation::observe_cached(
                 view,
                 site,
                 &self.agents[idx].pending,
                 &mut self.obs_cache[idx],
             );
+            if let (Some(p), Some(t)) = (&self.prof, obs_t) {
+                p.record_duration(Phase::ObsBuild, t.elapsed());
+            }
             if obs.max_procs == 0 {
                 continue;
             }
@@ -401,7 +432,11 @@ impl Scheduler for AdaptiveRl {
         }
         // One batched kernel pass scores every staged candidate row.
         if self.value.batch_rows() > 0 {
+            let score_t = self.prof.as_ref().map(|_| std::time::Instant::now());
             self.value.score_batch();
+            if let (Some(p), Some(t)) = (&self.prof, score_t) {
+                p.record_duration(Phase::Score, t.elapsed());
+            }
         }
         // Phase B: resolve each site's action (batch argmax for exploit
         // decisions), then group, place, and emit — in the original site
@@ -496,8 +531,13 @@ impl Scheduler for AdaptiveRl {
         if let Some(t0) = t0 {
             // Only rounds that produced commands count as decisions.
             if !cmds.is_empty() {
-                self.rec
-                    .histogram("decision_latency_us", t0.elapsed().as_secs_f64() * 1e6);
+                let secs = t0.elapsed().as_secs_f64();
+                if self.t_dec {
+                    self.rec.histogram("decision_latency_us", secs * 1e6);
+                }
+                if let Some(m) = &self.mon {
+                    m.decision_latency.observe(m.shard, secs);
+                }
             }
         }
         cmds
@@ -549,9 +589,16 @@ impl Scheduler for AdaptiveRl {
         self.in_flight.remove(&group.0);
     }
 
+    fn exploration(&self) -> Option<f64> {
+        Some(self.epsilon)
+    }
+
     fn on_group_complete(&mut self, now: SimTime, fb: &GroupFeedback) {
         self.cycles += 1;
         self.epsilon = (self.epsilon * self.cfg.epsilon_decay).max(self.cfg.epsilon_floor);
+        if let Some(m) = &self.mon {
+            m.epsilon.set(self.epsilon);
+        }
         let Some(sample) = self.in_flight.remove(&fb.group.0) else {
             return;
         };
@@ -569,7 +616,11 @@ impl Scheduler for AdaptiveRl {
         if self.cfg.use_reward_feedback {
             let target = value_target(fb.reward, fb.size, fb.error);
             if self.cfg.use_value_net {
+                let train_t = self.prof.as_ref().map(|_| std::time::Instant::now());
                 value_mse = self.value.train(&sample.obs, sample.action, target);
+                if let (Some(p), Some(t)) = (&self.prof, train_t) {
+                    p.record_duration(Phase::Train, t.elapsed());
+                }
             }
             self.agents[sample.site as usize].note_reward(fb.success_rate());
         }

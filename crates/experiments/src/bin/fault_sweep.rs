@@ -9,12 +9,17 @@
 //!
 //! `ARL_QUICK=1` reduces the run. `--audit` runs every cell under the
 //! correctness oracle and exits non-zero on any invariant violation.
-//! Fully seeded: repeated invocations print the same table.
+//! `--metrics-addr HOST:PORT` serves live Prometheus metrics on
+//! `/metrics` for the duration of the sweep (port 0 picks a free port).
+//! Fully seeded: repeated invocations print the same table — the metrics
+//! endpoint observes the run without perturbing it.
 
 use adaptive_rl::AdaptiveRlConfig;
-use experiments::{runner, Scenario, SchedulerKind};
+use experiments::{runner, Monitor, Scenario, SchedulerKind};
 use metrics::energy_millions;
 use platform::FaultSpec;
+use std::sync::Arc;
+use telemetry::{MetricsRegistry, MetricsServer};
 
 /// One sweep level: a label plus the mean time between whole-node
 /// failures (processor failures arrive 4x as often, at a quarter of the
@@ -41,9 +46,40 @@ fn spec_for(node_mtbf: f64) -> FaultSpec {
     }
 }
 
+/// Value of `--metrics-addr HOST:PORT` (also accepts `--metrics-addr=`),
+/// or `None` when the flag is absent.
+fn metrics_addr_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--metrics-addr" {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix("--metrics-addr=") {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
 fn main() {
     let quick = std::env::var("ARL_QUICK").is_ok();
     let audit = std::env::args().any(|a| a == "--audit");
+    let mut monitor = Monitor::default();
+    let mut server = None;
+    if let Some(addr) = metrics_addr_arg() {
+        let registry = Arc::new(MetricsRegistry::new());
+        match MetricsServer::serve(&addr, registry.clone()) {
+            Ok(s) => {
+                println!("serving metrics on http://{}/metrics", s.local_addr());
+                monitor.registry = Some(registry);
+                server = Some(s);
+            }
+            Err(e) => {
+                eprintln!("error: could not bind metrics listener on {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let (tasks, offered, seed) = if quick {
         (400, 0.7, 2011)
     } else {
@@ -76,7 +112,7 @@ fn main() {
         sc.exec.faults = spec_for(node_mtbf);
         sc.exec.audit = audit;
         for (name, kind) in &schedulers {
-            let r = runner::run_scenario(&sc, kind);
+            let r = runner::run_scenario_monitored(&sc, kind, None, &monitor);
             assert_eq!(
                 r.incomplete, 0,
                 "{name} lost tasks at intensity {label}: every task must \
@@ -105,6 +141,9 @@ fn main() {
             );
         }
         println!();
+    }
+    if let Some(mut s) = server {
+        s.shutdown();
     }
     if audit {
         if dirty {

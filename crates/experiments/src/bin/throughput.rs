@@ -100,6 +100,44 @@ fn check_regression(path: &str, mode: &str, new_tasks_per_s: f64, rows: &[Row]) 
     warn("aggregate", old_tasks_per_s, new_tasks_per_s);
 }
 
+/// Wall-clock UTC as `YYYY-MM-DDTHH:MM:SSZ`. No calendar crate is
+/// vendored; this is the standard civil-from-days conversion (valid for
+/// any date the Unix epoch can reach), so bench files record *when* they
+/// were produced and `bench diff` can order them.
+fn utc_now_iso8601() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (hh, mm, ss) = (rem / 3600, (rem % 3600) / 60, rem % 60);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mo = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(mo <= 2);
+    format!("{y:04}-{mo:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
+/// Short commit hash of the checkout that produced the numbers, or
+/// `"unknown"` outside a git repository (e.g. a source tarball).
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let quick = std::env::var("ARL_BENCH_QUICK").is_ok() || std::env::var("ARL_QUICK").is_ok();
     let (spec, num_tasks, reps, mode) = if quick {
@@ -186,6 +224,11 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    json.push_str(&format!(
+        "  \"generated_utc\": \"{}\",\n",
+        utc_now_iso8601()
+    ));
+    json.push_str(&format!("  \"git_commit\": \"{}\",\n", git_commit()));
     json.push_str(&format!("  \"num_tasks\": {num_tasks},\n"));
     json.push_str(&format!(
         "  \"platform\": {{ \"sites\": {}, \"nodes_per_site\": {}, \"procs_per_node\": {} }},\n",

@@ -27,4 +27,4 @@ pub mod runner;
 pub use checkpoint::{resume_run, run_scenario_checkpointed};
 pub use config::Scenario;
 pub use figures::{experiment1, experiment2, experiment3, Exp1Options, Exp2Options, Exp3Options};
-pub use runner::SchedulerKind;
+pub use runner::{Monitor, SchedulerKind};

@@ -6,12 +6,38 @@ use baselines::{
     GreedyEdf, OnlineRl, OnlineRlConfig, PredictionBased, PredictionConfig, QPlusConfig,
     QPlusLearning, RoundRobin,
 };
-use platform::{ExecEngine, RunResult, Scheduler};
+use platform::{ExecEngine, LiveMetrics, RunResult, SamplerConfig, Scheduler};
 use std::sync::Arc;
-use telemetry::Recorder;
+use telemetry::{MetricsRegistry, PhaseProfiler, Recorder};
 
 /// A recorder shared across runs (and replication threads).
 pub type SharedRecorder = Arc<dyn Recorder>;
+
+/// Observability attachments for one run — live metrics registry,
+/// time-series sampler cadence and phase profiler. Everything here is
+/// strictly observing: a run with a `Monitor` attached is bit-identical
+/// (under [`platform::replay_divergence`]) to the same run without one.
+#[derive(Debug, Default, Clone)]
+pub struct Monitor {
+    /// Registry the run's `arls_*` metric family is registered into
+    /// (shared with a [`telemetry::MetricsServer`] for live scraping).
+    pub registry: Option<Arc<MetricsRegistry>>,
+    /// Sim-time series sampling cadence; lands in
+    /// [`RunResult::timeseries`].
+    pub sampler: Option<SamplerConfig>,
+    /// Phase profiler for `--profile` runs.
+    pub profiler: Option<Arc<PhaseProfiler>>,
+    /// Counter stripe this run writes (one per concurrent run; see
+    /// [`MetricsRegistry::with_shards`]).
+    pub shard: usize,
+}
+
+impl Monitor {
+    /// Whether any attachment is configured.
+    pub fn is_active(&self) -> bool {
+        self.registry.is_some() || self.sampler.is_some() || self.profiler.is_some()
+    }
+}
 
 /// Which policy to run. Carries the policy's configuration so ablations
 /// and sweeps are expressed as plain values.
@@ -82,7 +108,7 @@ impl SchedulerKind {
 
 /// Runs one scenario under one policy.
 pub fn run_scenario(scenario: &Scenario, kind: &SchedulerKind) -> RunResult {
-    run_scenario_with(scenario, kind, None)
+    run_scenario_with(scenario, kind, None, None)
 }
 
 /// [`run_scenario`] with a telemetry recorder attached to both the
@@ -94,7 +120,21 @@ pub fn run_scenario_traced(
     kind: &SchedulerKind,
     rec: &SharedRecorder,
 ) -> RunResult {
-    run_scenario_with(scenario, kind, Some(rec))
+    run_scenario_with(scenario, kind, Some(rec), None)
+}
+
+/// [`run_scenario`] with observability attachments (and optionally a
+/// recorder too): live metrics registered into `monitor.registry`, the
+/// time-series sampler, and the phase profiler. For the Adaptive-RL
+/// policy the decision-latency histogram and ε gauge are wired into the
+/// scheduler as well.
+pub fn run_scenario_monitored(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    rec: Option<&SharedRecorder>,
+    monitor: &Monitor,
+) -> RunResult {
+    run_scenario_with(scenario, kind, rec, Some(monitor))
 }
 
 fn drive<S: Scheduler>(
@@ -114,16 +154,39 @@ fn run_scenario_with(
     scenario: &Scenario,
     kind: &SchedulerKind,
     rec: Option<&SharedRecorder>,
+    monitor: Option<&Monitor>,
 ) -> RunResult {
     let (platform, tasks) = scenario.build();
     let sites = platform.num_sites();
-    let engine = ExecEngine::new(scenario.exec);
+    let mut engine = ExecEngine::new(scenario.exec);
+    let handles = monitor.and_then(|m| {
+        m.registry
+            .as_ref()
+            .map(|reg| LiveMetrics::register(reg, sites, m.shard))
+    });
+    if let Some(h) = &handles {
+        engine = engine.with_monitor(h.clone());
+    }
+    if let Some(m) = monitor {
+        if let Some(s) = m.sampler {
+            engine = engine.with_sampler(s);
+        }
+        if let Some(p) = &m.profiler {
+            engine = engine.with_profiler(p.clone());
+        }
+    }
     let seeded = kind.with_seed(scenario.seed);
     match seeded {
         SchedulerKind::Adaptive(cfg) => {
             let mut s = AdaptiveRl::new(sites, cfg);
             if let Some(r) = rec {
                 s = s.with_recorder(r.clone());
+            }
+            if let Some(h) = &handles {
+                s = s.with_metrics(h.clone());
+            }
+            if let Some(p) = monitor.and_then(|m| m.profiler.clone()) {
+                s = s.with_profiler(p);
             }
             drive(&engine, platform, tasks, &mut s, rec)
         }
@@ -158,7 +221,7 @@ fn run_scenario_with(
 /// simultaneous simulations. Results are returned in replication order,
 /// so aggregation stays deterministic regardless of scheduling.
 pub fn run_replicated(scenario: &Scenario, kind: &SchedulerKind, reps: u32) -> Vec<RunResult> {
-    run_replicated_with(scenario, kind, reps, None)
+    run_replicated_with(scenario, kind, reps, None, None)
 }
 
 /// [`run_replicated`] with one shared recorder across all replication
@@ -172,7 +235,22 @@ pub fn run_replicated_traced(
     reps: u32,
     rec: &SharedRecorder,
 ) -> Vec<RunResult> {
-    run_replicated_with(scenario, kind, reps, Some(rec))
+    run_replicated_with(scenario, kind, reps, Some(rec), None)
+}
+
+/// [`run_replicated`] with observability attachments shared across
+/// replication threads. Each replication writes its own counter stripe
+/// (`rep % registry.shards()`), so size the registry's shard count to
+/// the replication count (or the worker-thread count) to keep stripes
+/// contention-free; totals aggregate across stripes at exposition.
+pub fn run_replicated_monitored(
+    scenario: &Scenario,
+    kind: &SchedulerKind,
+    reps: u32,
+    rec: Option<&SharedRecorder>,
+    monitor: &Monitor,
+) -> Vec<RunResult> {
+    run_replicated_with(scenario, kind, reps, rec, Some(monitor))
 }
 
 fn run_replicated_with(
@@ -180,6 +258,7 @@ fn run_replicated_with(
     kind: &SchedulerKind,
     reps: u32,
     rec: Option<&SharedRecorder>,
+    monitor: Option<&Monitor>,
 ) -> Vec<RunResult> {
     assert!(reps > 0, "need at least one replication");
     let workers = std::thread::available_parallelism()
@@ -193,14 +272,22 @@ fn run_replicated_with(
         for (c, block) in slots.chunks_mut(chunk).enumerate() {
             let kind = kind.clone();
             let rec = rec.cloned();
+            let monitor = monitor.cloned();
             scope.spawn(move |_| {
                 for (j, slot) in block.iter_mut().enumerate() {
                     let i = c * chunk + j;
                     let mut sc = scenario.clone();
                     sc.seed = scenario.seed.wrapping_add(i as u64);
-                    *slot = Some(match &rec {
-                        Some(r) => run_scenario_traced(&sc, &kind, r),
-                        None => run_scenario(&sc, &kind),
+                    *slot = Some(match &monitor {
+                        Some(m) => {
+                            // Each replication writes its own stripe.
+                            let mut m = m.clone();
+                            if let Some(reg) = &m.registry {
+                                m.shard = i % reg.shards();
+                            }
+                            run_scenario_with(&sc, &kind, rec.as_ref(), Some(&m))
+                        }
+                        None => run_scenario_with(&sc, &kind, rec.as_ref(), None),
                     });
                 }
             });

@@ -136,13 +136,21 @@ impl ExecEngine {
         }
         let every = ck.every.max(1);
         let fuse = engine.fuse();
+        let prof = self.profiler();
         let outcome = engine.run_hooked(&mut driver, |now, processed, queue, drv| {
             if write_error.is_some() || processed % every != 0 {
                 return;
             }
+            // Profile serialize + atomic write as one checkpoint sample;
+            // the clock is only read when a profiler is attached.
+            let ck_start = prof.map(|_| std::time::Instant::now());
             let payload = encode_checkpoint(drv, now, processed, fuse, queue, &ck.meta);
             let path = ck.dir.join(format!("{}-{processed:012}.snap", ck.prefix));
-            match snapshot::write_atomic(&path, &payload) {
+            let wrote = snapshot::write_atomic(&path, &payload);
+            if let (Some(p), Some(start)) = (prof, ck_start) {
+                p.record_duration(telemetry::Phase::CheckpointWrite, start.elapsed());
+            }
+            match wrote {
                 Ok(()) => {
                     written += 1;
                     if ck.crash_after == Some(written) {
@@ -398,9 +406,10 @@ pub fn resume_from_reader<S: Scheduler>(
         groups_aborted,
         touched_scratch: Vec::new(),
         ev_scratch: Vec::new(),
-        // Resumed runs are untraced and unaudited: neither recorder output
-        // nor the oracle is part of the replay-divergence contract, and
-        // mid-run oracle state is not checkpointable.
+        // Resumed runs are untraced, unaudited and unmonitored: neither
+        // recorder output nor the oracle nor the diagnostics-only
+        // monitor/sampler state is part of the replay-divergence
+        // contract, and none of it is checkpointable mid-run.
         rec: &telemetry::NULL,
         t_cyc: false,
         t_dec: false,
@@ -409,6 +418,8 @@ pub fn resume_from_reader<S: Scheduler>(
         events_seen,
         met_count,
         node_track,
+        mon: None,
+        sampler: None,
         oracle: None,
         settled_at,
     };

@@ -19,6 +19,7 @@
 use crate::fault::{FaultPlan, FaultSpec, FaultTarget, PlannedFault};
 use crate::group::{GroupId, TaskGroup};
 use crate::ids::{NodeAddr, ProcAddr};
+use crate::monitor::{LiveMetrics, SamplerConfig};
 use crate::oracle::{AuditReport, Oracle, RunTotals};
 use crate::queue::QueuedGroup;
 use crate::scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler};
@@ -29,7 +30,11 @@ use simcore::engine::{Engine, EngineHandle, RunOutcome, Simulation};
 use simcore::rng::RngStream;
 use simcore::time::{SimDuration, SimTime};
 use std::collections::HashMap;
-use telemetry::{Progress, Recorder, TelemetrySummary, TraceLevel, Value};
+use std::sync::Arc;
+use telemetry::{
+    PhaseProfiler, Progress, Recorder, SitePoint, TelemetrySummary, TimePoint, TimeSeriesLog,
+    TimeSeriesRing, TraceLevel, Value,
+};
 use workload::{Priority, SiteId, Task, TaskId};
 
 /// Engine configuration.
@@ -215,6 +220,12 @@ pub struct RunResult {
     /// Diagnostics only: excluded from replay comparison.
     #[serde(default)]
     pub max_queue_occupancy: usize,
+    /// Sim-time series of energy/power/queue/availability snapshots on
+    /// the sampler cadence. `None` unless the run was executed with a
+    /// sampler attached. Diagnostics only: excluded from replay
+    /// comparison.
+    #[serde(default)]
+    pub timeseries: Option<TimeSeriesLog>,
     /// Counter totals and histogram quantiles accumulated by the run's
     /// telemetry recorder. `None` on untraced runs.
     pub telemetry: Option<TelemetrySummary>,
@@ -346,6 +357,13 @@ pub(crate) struct Driver<'s, S: Scheduler> {
     pub(crate) met_count: usize,
     /// First flat node-track index per site (Chrome-trace `tid`s).
     pub(crate) node_track: Vec<u32>,
+    /// Live metrics handles; `None` on unmonitored runs keeps every
+    /// mirror site a single predictable branch, like the tracing gates.
+    pub(crate) mon: Option<Arc<LiveMetrics>>,
+    /// Time-series sampler ring; `None` when sampling is off. Samples
+    /// are taken on control ticks (plus one final point at run end), so
+    /// the configured cadence rounds up to the tick interval.
+    pub(crate) sampler: Option<TimeSeriesRing>,
     /// The correctness oracle, when the run is audited (strictly
     /// observing; `None` keeps the hot path a single branch per hook).
     pub(crate) oracle: Option<Box<Oracle>>,
@@ -416,6 +434,87 @@ impl<S: Scheduler> Driver<'_, S> {
             events: self.events_seen,
         };
         self.rec.progress(&p);
+    }
+
+    /// Refreshes the live gauges and, when the sampler cadence has
+    /// elapsed, appends one [`TimePoint`] to the ring. Called on control
+    /// ticks and once more at run end — never from the per-event hot
+    /// path, since the energy integral and per-site stats are O(nodes).
+    pub(crate) fn monitor_tick(&mut self, now: SimTime, final_point: bool) {
+        let due = match &self.sampler {
+            Some(ring) => final_point || ring.due(now.as_f64()),
+            None => false,
+        };
+        if self.mon.is_none() && !due {
+            return;
+        }
+        let energy = self.platform.total_energy_at(now);
+        let epsilon = self.sched.exploration();
+        if let Some(m) = &self.mon {
+            m.sim_time.set(now.as_f64());
+            m.energy_joules.set(energy);
+            if let Some(e) = epsilon {
+                m.epsilon.set(e);
+            }
+        }
+        let num_sites = self.platform.num_sites();
+        let mut sites = Vec::new();
+        if due {
+            sites.reserve(num_sites);
+        }
+        for s in 0..num_sites {
+            if self.mon.is_none() && !due {
+                break;
+            }
+            let site = SiteId(s as u32);
+            let (st, power) = self.site_snapshot(site);
+            let availability = if st.procs > 0 {
+                (st.procs - st.failed) as f64 / st.procs as f64
+            } else {
+                0.0
+            };
+            if let Some(m) = &self.mon {
+                m.site_power[s].set(power);
+                m.site_queue[s].set(st.queued_groups as f64);
+                m.site_availability[s].set(availability);
+            }
+            if due {
+                sites.push(SitePoint {
+                    power_w: power,
+                    queue_depth: st.queued_groups as u64,
+                    availability,
+                });
+            }
+        }
+        if due {
+            let (p50, p95, p99) = match &self.mon {
+                Some(m) => (
+                    m.decision_latency.quantile(0.50).unwrap_or(0.0) * 1e6,
+                    m.decision_latency.quantile(0.95).unwrap_or(0.0) * 1e6,
+                    m.decision_latency.quantile(0.99).unwrap_or(0.0) * 1e6,
+                ),
+                None => (0.0, 0.0, 0.0),
+            };
+            let point = TimePoint {
+                t: now.as_f64(),
+                energy_j: energy,
+                done: self.completed as u64,
+                met: self.met_count as u64,
+                failed: self.failed_tasks as u64,
+                epsilon,
+                decision_p50_us: p50,
+                decision_p95_us: p95,
+                decision_p99_us: p99,
+                sites,
+            };
+            if let Some(ring) = &mut self.sampler {
+                if final_point {
+                    ring.push_final(point);
+                } else {
+                    ring.push(point);
+                }
+            }
+        }
     }
 
     /// Per-site queue-depth and power snapshot appended to dispatch and
@@ -574,6 +673,9 @@ impl<S: Scheduler> Driver<'_, S> {
                     if self.t_cyc {
                         self.rec.counter_add("split.starts", 1);
                     }
+                    if let Some(m) = &self.mon {
+                        m.split_starts.inc(m.shard);
+                    }
                 }
             }
         }
@@ -609,6 +711,9 @@ impl<S: Scheduler> Driver<'_, S> {
                         self.rejections += 1;
                         if self.t_cyc {
                             self.rec.counter_add("dispatch.rejected", 1);
+                        }
+                        if let Some(m) = &self.mon {
+                            m.dispatch_rejected.inc(m.shard);
                         }
                         let site = tasks.first().map(|t| t.site).unwrap_or(addr.site);
                         self.sched.on_rejected(now, site, tasks);
@@ -656,6 +761,9 @@ impl<S: Scheduler> Driver<'_, S> {
                     self.sched.on_assignment(now, &fb);
                     if self.t_cyc {
                         self.rec.counter_add("groups.dispatched", 1);
+                    }
+                    if let Some(m) = &self.mon {
+                        m.groups_dispatched.inc(m.shard);
                     }
                     if self.t_dec {
                         let (st, power) = self.site_snapshot(addr.site);
@@ -767,6 +875,9 @@ impl<S: Scheduler> Driver<'_, S> {
                 st.queued_groups as f64,
             );
         }
+        if let Some(m) = &self.mon {
+            m.groups_completed.inc(m.shard);
+        }
         if self.t_cyc {
             self.rec.counter_add("groups.completed", 1);
             self.rec.histogram("queue_wait_s", fb.wait_time());
@@ -833,6 +944,12 @@ impl<S: Scheduler> Driver<'_, S> {
             self.rec
                 .histogram("task_response_s", now.since(task.arrival).as_f64());
         }
+        if let Some(m) = &self.mon {
+            m.tasks_completed.inc(m.shard);
+            if met {
+                m.tasks_met.inc(m.shard);
+            }
+        }
 
         let complete = {
             let g = self
@@ -871,6 +988,9 @@ impl<S: Scheduler> Driver<'_, S> {
         if self.t_cyc {
             self.rec.counter_add("tasks.failed", 1);
         }
+        if let Some(m) = &self.mon {
+            m.tasks_failed.inc(m.shard);
+        }
     }
 
     /// Re-dispatches tasks lost to a failure. Each orphan consumes one unit
@@ -898,6 +1018,9 @@ impl<S: Scheduler> Driver<'_, S> {
             self.retries += 1;
             if self.t_cyc {
                 self.rec.counter_add("tasks.retried", 1);
+            }
+            if let Some(m) = &self.mon {
+                m.tasks_retried.inc(m.shard);
             }
             let mut t = task;
             let budget = task.deadline.since(task.arrival).as_f64();
@@ -936,6 +1059,9 @@ impl<S: Scheduler> Driver<'_, S> {
             FaultTarget::Node(_) => (0..self.platform.node(addr).num_processors()).collect(),
         };
         self.faults_injected += 1;
+        if let Some(m) = &self.mon {
+            m.faults_injected.inc(m.shard);
+        }
         let mut orphans: Vec<TaskId> = Vec::new();
         let mut touched_groups: Vec<GroupId> = Vec::new();
         for pi in procs {
@@ -960,6 +1086,9 @@ impl<S: Scheduler> Driver<'_, S> {
                 self.preemptions += 1;
                 if self.t_cyc {
                     self.rec.counter_add("tasks.preempted", 1);
+                }
+                if let Some(m) = &self.mon {
+                    m.tasks_preempted.inc(m.shard);
                 }
                 {
                     let g = self
@@ -1090,6 +1219,9 @@ impl<S: Scheduler> Driver<'_, S> {
             }
         }
         self.groups_aborted += 1;
+        if let Some(m) = &self.mon {
+            m.groups_aborted.inc(m.shard);
+        }
         if self.t_dec {
             // Close the dispatch span opened in `apply`: aborted groups
             // must not leave dangling async spans in the trace.
@@ -1195,6 +1327,9 @@ impl<S: Scheduler> Driver<'_, S> {
         // One planned outage = one recovery, matching `faults_injected`
         // units (a node event counts once, not once per processor).
         self.faults_recovered += 1;
+        if let Some(m) = &self.mon {
+            m.faults_recovered.inc(m.shard);
+        }
         if self.t_cyc {
             self.rec.counter_add("faults.recovered", 1);
             let (st, power) = self.site_snapshot(addr.site);
@@ -1225,6 +1360,9 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
             return false;
         }
         self.events_seen += 1;
+        if let Some(m) = &self.mon {
+            m.events.inc(m.shard);
+        }
         if let Some(o) = self.oracle.as_mut() {
             o.on_event(now);
         }
@@ -1290,6 +1428,9 @@ impl<S: Scheduler> Simulation for Driver<'_, S> {
                     self.dispatch_round(now, &mut out);
                     if self.progress_on {
                         self.emit_progress(now);
+                    }
+                    if self.mon.is_some() || self.sampler.is_some() {
+                        self.monitor_tick(now, false);
                     }
                     if let Some(o) = self.oracle.as_mut() {
                         o.sweep(&self.platform, now);
@@ -1358,6 +1499,12 @@ pub struct ExecEngine {
     /// (and is honoured even with `cfg.faults.enabled == false` randomness
     /// knobs, as long as `enabled` is true).
     fault_plan: Option<FaultPlan>,
+    /// Live metric handles the run publishes into (strictly observing).
+    monitor: Option<Arc<LiveMetrics>>,
+    /// Time-series sampler cadence; `None` disables sampling.
+    sampler: Option<SamplerConfig>,
+    /// Phase profiler for `--profile` runs (strictly observing).
+    profiler: Option<Arc<PhaseProfiler>>,
 }
 
 impl ExecEngine {
@@ -1366,6 +1513,9 @@ impl ExecEngine {
         ExecEngine {
             cfg,
             fault_plan: None,
+            monitor: None,
+            sampler: None,
+            profiler: None,
         }
     }
 
@@ -1375,6 +1525,36 @@ impl ExecEngine {
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
         self
+    }
+
+    /// Publishes live run state into `monitor`'s pre-registered metric
+    /// handles. Strictly observing: scheduling decisions, RNG draws and
+    /// every `RunResult` field except diagnostics are bit-identical with
+    /// the monitor on or off.
+    pub fn with_monitor(mut self, monitor: Arc<LiveMetrics>) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
+
+    /// Samples a [`TimePoint`] on the given cadence; the series lands in
+    /// [`RunResult::timeseries`]. Strictly observing, like the monitor.
+    pub fn with_sampler(mut self, cfg: SamplerConfig) -> Self {
+        self.sampler = Some(cfg);
+        self
+    }
+
+    /// Accumulates per-phase wall-clock timings into `profiler`. The
+    /// engine loop switches to its profiled variant (event pop / handle
+    /// timing); downstream layers time their own phases into the same
+    /// profiler. Strictly observing.
+    pub fn with_profiler(mut self, profiler: Arc<PhaseProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The attached profiler, if any (shared with [`crate::checkpoint`]).
+    pub(crate) fn profiler(&self) -> Option<&PhaseProfiler> {
+        self.profiler.as_deref()
     }
 
     /// Runs the simulation to completion and collects the results.
@@ -1419,12 +1599,19 @@ impl ExecEngine {
                 Ev::Fault(_) => "fault",
                 Ev::Recover(_) => "recover",
             })
+        } else if let Some(prof) = &self.profiler {
+            engine.run_profiled(&mut driver, prof)
         } else {
             engine.run(&mut driver)
         };
         if driver.progress_on {
             // Final snapshot so short runs print at least one line.
             driver.emit_progress(engine.now());
+        }
+        if driver.mon.is_some() || driver.sampler.is_some() {
+            // Close the series at the run's end so the last sample always
+            // reflects the final energy/task totals.
+            driver.monitor_tick(engine.now(), true);
         }
         let events_processed = engine.processed();
         let max_queue_occupancy = engine.queue().max_occupancy();
@@ -1510,6 +1697,10 @@ impl ExecEngine {
             events_seen: 0,
             met_count: 0,
             node_track,
+            mon: self.monitor.clone(),
+            sampler: self
+                .sampler
+                .map(|s| TimeSeriesRing::new(s.every, s.capacity)),
             oracle,
             settled_at: SimTime::ZERO,
         };
@@ -1671,6 +1862,7 @@ pub(crate) fn assemble_result<S: Scheduler>(
         outcome: format!("{outcome:?}"),
         events_processed,
         max_queue_occupancy,
+        timeseries: driver.sampler.take().map(TimeSeriesRing::into_log),
         telemetry: rec.summary(),
         audit: None,
     };
@@ -1794,6 +1986,72 @@ mod tests {
     fn utilisation_in_unit_range() {
         let r = run_fcfs(100, true);
         assert!(r.mean_utilisation > 0.0 && r.mean_utilisation <= 1.0);
+    }
+
+    /// Runs the `run_fcfs` scenario with a monitor, sampler and profiler
+    /// attached.
+    fn run_fcfs_monitored() -> (RunResult, std::sync::Arc<telemetry::MetricsRegistry>) {
+        let rng = RngStream::root(11);
+        let platform = Platform::generate(PlatformSpec::small(2, 3, 4), &rng.derive("p"));
+        let wl = Workload::generate(
+            WorkloadSpec::paper(200, 2, platform.reference_speed()),
+            &rng.derive("w"),
+        );
+        let mut sched = Fcfs {
+            pending: Vec::new(),
+        };
+        let reg = std::sync::Arc::new(telemetry::MetricsRegistry::new());
+        let mon = crate::monitor::LiveMetrics::register(&reg, platform.num_sites(), 0);
+        let engine = ExecEngine::new(ExecConfig::default())
+            .with_monitor(mon)
+            .with_sampler(crate::monitor::SamplerConfig {
+                every: 20.0,
+                capacity: 1024,
+            })
+            .with_profiler(std::sync::Arc::new(telemetry::PhaseProfiler::new()));
+        (engine.run(platform, wl.tasks, &mut sched), reg)
+    }
+
+    #[test]
+    fn monitoring_is_inert() {
+        let plain = run_fcfs(200, true);
+        let (monitored, _) = run_fcfs_monitored();
+        assert_eq!(
+            crate::oracle::replay_divergence(&plain, &monitored),
+            None,
+            "attaching monitor/sampler/profiler must not change the run"
+        );
+        assert!(plain.timeseries.is_none());
+    }
+
+    #[test]
+    fn monitored_run_publishes_metrics_and_timeseries() {
+        let (r, reg) = run_fcfs_monitored();
+        let text = reg.render();
+        assert!(
+            text.contains(&format!("arls_tasks_completed_total {}", r.records.len())),
+            "{text}"
+        );
+        assert!(
+            text.contains(&format!(
+                "arls_groups_completed_total {}",
+                r.groups_completed
+            )),
+            "{text}"
+        );
+        assert!(text.contains("arls_site_power_watts{site=\"1\"}"), "{text}");
+        let ts = r.timeseries.as_ref().expect("sampler attached");
+        assert_eq!(ts.sample_every, 20.0);
+        assert!(!ts.points.is_empty());
+        // Monotone sample times; the final point carries the run's end
+        // state, so its cumulative counters match the result.
+        for w in ts.points.windows(2) {
+            assert!(w[0].t < w[1].t, "sample times must be strictly increasing");
+        }
+        let last = ts.points.last().unwrap();
+        assert_eq!(last.done as usize + last.failed as usize, r.num_tasks);
+        assert!(last.energy_j > 0.0);
+        assert_eq!(last.sites.len(), 2);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! * [`scheduler`] — the scheduler trait, commands, feedback signals,
 //! * [`fault`] — deterministic fault-injection plans (processor / node
 //!   failures with recovery),
+//! * [`monitor`] — the live `arls_*` metric family and sampler config,
 //! * [`oracle`] — the correctness oracle: conservation invariants, shadow
 //!   energy accounting, post-hoc result audits and replay-determinism
 //!   checks,
@@ -34,6 +35,7 @@ pub mod fault;
 pub mod group;
 pub mod heterogeneity;
 pub mod ids;
+pub mod monitor;
 pub mod node;
 pub mod oracle;
 pub mod power;
@@ -48,6 +50,7 @@ pub use engine::{ExecConfig, ExecEngine, RunResult, TaskOutcome, TaskRecord};
 pub use fault::{FaultPlan, FaultSpec, FaultTarget, PlannedFault};
 pub use group::{GroupId, GroupPolicy, TaskGroup};
 pub use ids::{NodeAddr, ProcAddr};
+pub use monitor::{LiveMetrics, SamplerConfig};
 pub use node::ComputeNode;
 pub use oracle::{audit_result, replay_divergence, AuditReport, Oracle, Violation};
 pub use power::PowerParams;

@@ -161,6 +161,13 @@ pub trait Scheduler {
         Vec::new()
     }
 
+    /// The policy's current exploration rate, for live monitoring and the
+    /// time-series sampler. `None` (the default) for policies that do not
+    /// explore; the adaptive scheduler reports its ε-greedy rate.
+    fn exploration(&self) -> Option<f64> {
+        None
+    }
+
     /// Serializes the scheduler's learning and buffering state into a
     /// checkpoint byte stream. Must not mutate observable state — a run
     /// that checkpoints must stay event-for-event identical to one that

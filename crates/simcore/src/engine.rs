@@ -9,7 +9,7 @@
 
 use crate::event::EventQueue;
 use crate::time::SimTime;
-use telemetry::{Recorder, TraceLevel, Value};
+use telemetry::{Phase, PhaseProfiler, Recorder, TraceLevel, Value};
 
 /// Callback interface driven by [`Engine::run`].
 pub trait Simulation {
@@ -253,6 +253,43 @@ impl<E> Engine<E> {
         }
         RunOutcome::Drained
     }
+
+    /// [`Engine::run`] with per-phase wall-clock accounting.
+    ///
+    /// Splits each iteration into queue pop ([`Phase::EventPop`]) and
+    /// simulation dispatch ([`Phase::EventHandle`]) and records both into
+    /// `prof`. Timing is strictly observational — the event order and
+    /// simulation state are identical to a plain [`Engine::run`] — but
+    /// every iteration reads the monotonic clock three times, so this
+    /// variant is only selected when `--profile` is on.
+    pub fn run_profiled<S>(&mut self, sim: &mut S, prof: &PhaseProfiler) -> RunOutcome
+    where
+        S: Simulation<Event = E>,
+    {
+        loop {
+            let pop_start = std::time::Instant::now();
+            let Some(scheduled) = self.queue.pop() else {
+                return RunOutcome::Drained;
+            };
+            let handle_start = std::time::Instant::now();
+            prof.record_duration(Phase::EventPop, handle_start - pop_start);
+            debug_assert!(scheduled.time >= self.now, "event queue must be monotone");
+            self.now = scheduled.time;
+            self.processed += 1;
+            let mut handle = EngineHandle {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            let keep_going = sim.on_event(self.now, scheduled.event, &mut handle);
+            prof.record_duration(Phase::EventHandle, handle_start.elapsed());
+            if !keep_going {
+                return RunOutcome::Stopped;
+            }
+            if self.processed >= self.fuse {
+                return RunOutcome::FuseBlown;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +331,43 @@ mod tests {
         assert_eq!(sim.times, vec![0.5, 1.5, 2.5, 3.5]);
         assert_eq!(engine.now().as_f64(), 3.5);
         assert_eq!(engine.processed(), 4);
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_counts_phases() {
+        let mut plain = Bouncer {
+            remaining: 3,
+            times: Vec::new(),
+        };
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.5), Bounce);
+        engine.run(&mut plain);
+
+        let mut profiled = Bouncer {
+            remaining: 3,
+            times: Vec::new(),
+        };
+        let prof = PhaseProfiler::new();
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.5), Bounce);
+        let outcome = engine.run_profiled(&mut profiled, &prof);
+        assert_eq!(outcome, RunOutcome::Drained);
+        assert_eq!(profiled.times, plain.times);
+        assert_eq!(engine.processed(), 4);
+
+        let report = prof.report();
+        let pop = report
+            .phases
+            .iter()
+            .find(|p| p.phase == "event_pop")
+            .unwrap();
+        let handle = report
+            .phases
+            .iter()
+            .find(|p| p.phase == "event_handle")
+            .unwrap();
+        assert_eq!(pop.calls, 4);
+        assert_eq!(handle.calls, 4);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Pins `telemetry::quantile` against `simcore::stats::quantile`.
+//!
+//! The function is duplicated because `telemetry` sits below `simcore`
+//! in the dependency graph; a drift between the copies would silently
+//! skew the p50/p95/p99 numbers in `TelemetrySummary` relative to every
+//! report the experiments layer computes. Shared samples through both
+//! implementations must agree to the last bit.
+
+use simcore::rng::RngStream;
+
+fn assert_bit_equal(sample: &[f64], q: f64) {
+    let a = simcore::stats::quantile(sample, q);
+    let b = telemetry::quantile(sample, q);
+    match (a, b) {
+        (None, None) => {}
+        (Some(x), Some(y)) => assert!(
+            x.to_bits() == y.to_bits(),
+            "quantile({q}) diverged: simcore {x:?} vs telemetry {y:?} on {} samples",
+            sample.len()
+        ),
+        (a, b) => panic!("presence diverged at q={q}: simcore {a:?} vs telemetry {b:?}"),
+    }
+}
+
+#[test]
+fn empty_and_singleton_agree() {
+    for q in [0.0, 0.5, 1.0] {
+        assert_bit_equal(&[], q);
+        assert_bit_equal(&[7.25], q);
+    }
+}
+
+#[test]
+fn structured_samples_agree_at_standard_quantiles() {
+    let cases: Vec<Vec<f64>> = vec![
+        vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        vec![5.0, 4.0, 3.0, 2.0, 1.0],
+        vec![0.1; 100],
+        (0..997).map(|i| (i as f64) * 0.37 - 50.0).collect(),
+        vec![-1e300, 0.0, 1e-300, 1e300],
+    ];
+    for sample in &cases {
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_bit_equal(sample, q);
+        }
+    }
+}
+
+#[test]
+fn random_samples_agree_at_random_quantiles() {
+    let rng = RngStream::root(0x9A17);
+    let mut r = rng.derive("quantile-equivalence");
+    for _trial in 0..200 {
+        let n = r.uniform_usize(1, 500);
+        let sample: Vec<f64> = (0..n)
+            .map(|_| {
+                // Mix magnitudes so interpolation rounding actually bites.
+                let base = r.uniform(-0.5, 0.5);
+                base * 10f64.powi(r.uniform_usize(0, 12) as i32 - 6)
+            })
+            .collect();
+        for _ in 0..8 {
+            let q = r.unit();
+            assert_bit_equal(&sample, q);
+        }
+        // Exact endpoints, every trial.
+        assert_bit_equal(&sample, 0.0);
+        assert_bit_equal(&sample, 1.0);
+    }
+}
+
+#[test]
+fn telemetry_clamps_where_simcore_asserts() {
+    // The one documented divergence: out-of-range q. telemetry clamps
+    // (summaries must never panic); simcore asserts. The clamped result
+    // must equal the in-range endpoint.
+    let sample = [3.0, 1.0, 2.0];
+    assert_eq!(
+        telemetry::quantile(&sample, -0.5),
+        telemetry::quantile(&sample, 0.0)
+    );
+    assert_eq!(
+        telemetry::quantile(&sample, 1.5),
+        telemetry::quantile(&sample, 1.0)
+    );
+}

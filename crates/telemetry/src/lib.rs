@@ -28,17 +28,32 @@
 //! - [`json`] — a minimal recursive-descent JSON parser (no JSON crate
 //!   is vendored) used by the exporter tests and the throughput
 //!   regression guard.
+//! - [`metrics`] — the live-monitoring registry: labeled atomic
+//!   counters/gauges/histograms with Prometheus text-format exposition,
+//!   served over HTTP by [`MetricsServer`].
+//! - [`TimeSeriesRing`] / [`TimeSeriesLog`] — sim-time snapshots of
+//!   per-site power/energy/queue state on a configurable cadence.
+//! - [`PhaseProfiler`] — coarse phase timers for the `--profile`
+//!   self-profiler.
 
 mod chrome;
 mod fmt;
 pub mod json;
 mod jsonl;
+pub mod metrics;
+mod profile;
 mod progress;
+mod promhttp;
 mod recorder;
 mod stats;
+mod timeseries;
 
 pub use chrome::ChromeTraceSink;
 pub use jsonl::JsonlSink;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use profile::{Phase, PhaseProfiler, PhaseStat, ProfileReport, PHASES};
 pub use progress::StderrProgress;
+pub use promhttp::MetricsServer;
 pub use recorder::{Fields, NullRecorder, Progress, Recorder, TraceLevel, Value, NULL};
-pub use stats::{CounterTotal, HistogramSummary, StatsCore, TelemetrySummary};
+pub use stats::{quantile, CounterTotal, HistogramSummary, StatsCore, TelemetrySummary};
+pub use timeseries::{SitePoint, TimePoint, TimeSeriesLog, TimeSeriesRing};

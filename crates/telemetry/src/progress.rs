@@ -15,6 +15,11 @@ pub struct StderrProgress {
     inner: Arc<dyn Recorder>,
     every: Duration,
     last: Mutex<Option<Instant>>,
+    /// Most recent snapshot, rendered unthrottled — once — by
+    /// [`Recorder::finish`] so the ticker always ends on a complete
+    /// `done` line and whatever follows on the terminal (the profiler
+    /// table, piped logs) never interleaves with a stale ticker line.
+    final_snapshot: Mutex<Option<Progress>>,
 }
 
 impl StderrProgress {
@@ -24,6 +29,7 @@ impl StderrProgress {
             inner,
             every,
             last: Mutex::new(None),
+            final_snapshot: Mutex::new(None),
         }
     }
 
@@ -50,6 +56,10 @@ impl StderrProgress {
     }
 
     fn render(p: &Progress) {
+        eprintln!("{}", Self::render_line(p));
+    }
+
+    fn render_line(p: &Progress) -> String {
         let pct = if p.total > 0 {
             100.0 * p.done as f64 / p.total as f64
         } else {
@@ -65,10 +75,10 @@ impl StderrProgress {
         } else {
             0.0
         };
-        eprintln!(
+        format!(
             "[t={:>8.2}s] tasks {}/{} ({:.0}%)  met {:.1}%  energy {:.0} J  {:.0} ev/s",
             p.sim_time, p.done, p.total, pct, success, p.energy, eps
-        );
+        )
     }
 }
 
@@ -106,6 +116,13 @@ impl Recorder for StderrProgress {
     }
 
     fn progress(&self, p: &Progress) {
+        {
+            let mut snap = self
+                .final_snapshot
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *snap = Some(*p);
+        }
         if self.should_print() {
             Self::render(p);
         }
@@ -116,6 +133,16 @@ impl Recorder for StderrProgress {
     }
 
     fn finish(&self) {
+        // `take()` makes the final line idempotent across repeated
+        // finish() calls (the CLI finishes explicitly; drops may too).
+        let snap = self
+            .final_snapshot
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(p) = snap {
+            eprintln!("{}  done", Self::render_line(&p));
+        }
         self.inner.finish();
     }
 
@@ -134,6 +161,41 @@ mod tests {
         assert!(p.wants_progress());
         assert!(!p.wants(TraceLevel::Cycles));
         assert!(p.summary().is_none());
+    }
+
+    #[test]
+    fn finish_consumes_the_final_snapshot_once() {
+        let p = StderrProgress::wrap(
+            Arc::new(crate::recorder::NullRecorder),
+            Duration::from_secs(3600),
+        );
+        let snap = Progress {
+            sim_time: 42.0,
+            done: 5,
+            total: 10,
+            ..Progress::default()
+        };
+        p.progress(&snap);
+        assert!(p.final_snapshot.lock().unwrap().is_some());
+        p.finish();
+        // The latch is consumed: a second finish has nothing to print.
+        assert!(p.final_snapshot.lock().unwrap().is_none());
+        p.finish();
+    }
+
+    #[test]
+    fn render_line_is_one_line() {
+        let line = StderrProgress::render_line(&Progress {
+            sim_time: 1.5,
+            wall_s: 0.5,
+            done: 2,
+            total: 4,
+            met: 1,
+            energy: 123.0,
+            events: 100,
+        });
+        assert!(!line.contains('\n'));
+        assert!(line.contains("tasks 2/4 (50%)"), "{line}");
     }
 
     #[test]

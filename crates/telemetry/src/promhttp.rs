@@ -1,0 +1,200 @@
+//! Minimal blocking `/metrics` HTTP listener.
+//!
+//! No HTTP crate is vendored; the endpoint speaks just enough HTTP/1.1
+//! for `curl` and a Prometheus scraper: one request per connection,
+//! `GET`/`HEAD /metrics` answered from [`MetricsRegistry::render`],
+//! everything else 404/405, `Connection: close`. The accept loop runs on
+//! one background thread with a non-blocking listener polled every few
+//! tens of milliseconds so [`MetricsServer::shutdown`] (and `Drop`) can
+//! stop it promptly; the simulation thread never blocks on a scrape.
+
+use crate::metrics::MetricsRegistry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A live `/metrics` endpoint serving one [`MetricsRegistry`].
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9898"`; port 0 picks a free one)
+    /// and starts serving `registry` until shutdown/drop.
+    pub fn serve(addr: &str, registry: Arc<MetricsRegistry>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("arls-metrics".to_string())
+            .spawn(move || accept_loop(listener, registry, stop_flag))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, registry: Arc<MetricsRegistry>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Scrapes are cheap and rare; serving inline keeps the
+                // server a single predictable thread.
+                let _ = serve_one(stream, &registry);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Reads one request head and answers it. Any I/O error just drops the
+/// connection — a broken scraper must never disturb the run.
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let head = read_head(&mut stream)?;
+    let mut parts = head
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .split_ascii_whitespace();
+    let method = parts.next().unwrap_or_default();
+    let path = parts.next().unwrap_or_default();
+    let path = path.split('?').next().unwrap_or_default();
+    let (status, body) = match (method, path) {
+        ("GET" | "HEAD", "/metrics") => ("200 OK", registry.render()),
+        ("GET" | "HEAD", _) => ("404 Not Found", "not found; try /metrics\n".to_string()),
+        _ => (
+            "405 Method Not Allowed",
+            "only GET is supported\n".to_string(),
+        ),
+    };
+    let content_type = if status.starts_with("200") {
+        // The exposition-format content type Prometheus expects.
+        "text/plain; version=0.0.4; charset=utf-8"
+    } else {
+        "text/plain; charset=utf-8"
+    };
+    let mut response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    if method != "HEAD" {
+        response.push_str(&body);
+    }
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the blank line ending the request head (8 KiB cap — a
+/// scrape request head is a few hundred bytes).
+fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn request(addr: SocketAddr, req: &str) -> (String, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(req.as_bytes()).unwrap();
+        let mut reader = BufReader::new(s);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut body = String::new();
+        let mut line = String::new();
+        // Skip remaining headers.
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+        }
+        reader.read_to_string(&mut body).unwrap();
+        (status.trim_end().to_string(), body)
+    }
+
+    #[test]
+    fn serves_metrics_and_rejects_other_paths() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let c = registry.counter("arls_up_total", "Liveness.", &[]);
+        c.add(0, 5);
+        let mut server = MetricsServer::serve("127.0.0.1:0", registry.clone()).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = request(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("arls_up_total 5\n"), "{body}");
+
+        // A scrape sees live values, not a snapshot from bind time.
+        c.add(0, 2);
+        let (_, body) = request(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(body.contains("arls_up_total 7\n"), "{body}");
+
+        let (status, _) = request(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        let (status, _) = request(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+
+        server.shutdown();
+        // Idempotent shutdown, and the port is released.
+        server.shutdown();
+    }
+}

@@ -104,23 +104,27 @@ impl StatsCore {
 
 /// Linear-interpolation quantile over an unsorted sample (sort-copy),
 /// mirroring `simcore::stats::quantile` — re-implemented here because
-/// `telemetry` sits below `simcore` in the dependency graph.
-pub(crate) fn quantile(sample: &[f64], q: f64) -> Option<f64> {
+/// `telemetry` sits below `simcore` in the dependency graph. The sort
+/// comparator (`total_cmp`) and the interpolation formula
+/// (`lo + (hi - lo) * frac`) are kept textually identical to the
+/// `simcore` copy so the two agree to the last bit; the
+/// `quantile_equivalence` test in `simcore` pins this down. The only
+/// deliberate difference: out-of-range `q` is clamped here instead of
+/// asserted, because summary rendering must never panic a run.
+pub fn quantile(sample: &[f64], q: f64) -> Option<f64> {
     if sample.is_empty() {
         return None;
     }
-    let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let q = q.clamp(0.0, 1.0);
-    let pos = q * (sorted.len() - 1) as f64;
+    let mut xs = sample.to_vec();
+    // total_cmp: a NaN sample sorts to the end instead of panicking the
+    // whole summary.
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (xs.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
-        Some(sorted[lo])
-    } else {
-        let frac = pos - lo as f64;
-        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
-    }
+    let frac = pos - lo as f64;
+    Some(xs[lo] + (xs[hi] - xs[lo]) * frac)
 }
 
 impl TelemetrySummary {

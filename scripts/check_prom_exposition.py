@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format (0.0.4) exposition payload.
+
+Used by the CI scrape-smoke job against live scrapes of the arls
+`/metrics` endpoint. Checks the line grammar (HELP/TYPE comments, metric
+and label names, escaped label values, float-parseable sample values
+including NaN/+Inf/-Inf), per-family structure (TYPE declared before
+samples, no duplicate HELP/TYPE, histogram `_bucket`/`_sum`/`_count`
+consistency with cumulative non-decreasing buckets ending at le="+Inf")
+and — via repeated `--require NAME` flags — the presence of expected
+series.
+
+    check_prom_exposition.py FILE [--require NAME]...
+
+Exits non-zero with one line per violation.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# One label pair: name="value" with \\, \" and \n escapes inside value.
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(raw):
+    if raw in ("+Inf", "-Inf", "Inf"):
+        return float(raw.replace("Inf", "inf"))
+    if raw == "NaN":
+        return float("nan")
+    return float(raw)  # raises ValueError on garbage
+
+
+def base_family(name):
+    """The family a sample belongs to (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text, required):
+    errors = []
+    types = {}  # family -> declared type
+    helps = set()
+    samples = []  # (name, labels-dict, value, lineno)
+    seen_family_order = []
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            errors.append(f"line {lineno}: blank lines are not part of the format")
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                if not METRIC_NAME.match(name):
+                    errors.append(f"line {lineno}: bad metric name {name!r}")
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in TYPES:
+                        errors.append(f"line {lineno}: bad TYPE {kind!r} for {name}")
+                    if name in types:
+                        errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                    types[name] = kind
+                    seen_family_order.append(name)
+                else:
+                    if name in helps:
+                        errors.append(f"line {lineno}: duplicate HELP for {name}")
+                    helps.add(name)
+            # Other comments are legal and ignored.
+            continue
+
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)(\s+-?\d+)?$", line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample line {line!r}")
+            continue
+        name, labelblock, rawvalue = m.group(1), m.group(2), m.group(3)
+        labels = {}
+        if labelblock:
+            inner = labelblock[1:-1].rstrip(",")
+            for pm in LABEL_PAIR.finditer(inner):
+                labels[pm.group(1)] = pm.group(2)
+            # Everything except separators must be consumed by label pairs.
+            leftover = re.sub(r"[,\s]", "", LABEL_PAIR.sub("", inner))
+            if leftover:
+                errors.append(f"line {lineno}: bad label block {labelblock!r}")
+            for lname in labels:
+                if not LABEL_NAME.match(lname):
+                    errors.append(f"line {lineno}: bad label name {lname!r}")
+        try:
+            value = parse_value(rawvalue)
+        except ValueError:
+            errors.append(f"line {lineno}: unparseable value {rawvalue!r}")
+            continue
+        fam = base_family(name)
+        if fam in types and types[fam] in ("histogram", "summary"):
+            pass  # suffixed sample of a declared family
+        elif name not in types:
+            errors.append(f"line {lineno}: sample {name} has no preceding TYPE")
+        samples.append((name, labels, value, lineno))
+
+    # Histogram structure.
+    for fam, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = [
+            (s[1].get("le"), s[2], s[3])
+            for s in samples
+            if s[0] == fam + "_bucket"
+        ]
+        if not buckets:
+            errors.append(f"histogram {fam} has no _bucket samples")
+            continue
+        if buckets[-1][0] != "+Inf":
+            errors.append(f"histogram {fam}: last bucket must be le=\"+Inf\"")
+        counts = [b[1] for b in buckets]
+        if any(earlier > later for earlier, later in zip(counts, counts[1:])):
+            errors.append(f"histogram {fam}: bucket counts are not cumulative")
+        count = [s[2] for s in samples if s[0] == fam + "_count"]
+        if not count:
+            errors.append(f"histogram {fam} has no _count sample")
+        elif count[0] != counts[-1]:
+            errors.append(
+                f"histogram {fam}: _count {count[0]} != +Inf bucket {counts[-1]}"
+            )
+        if not any(s[0] == fam + "_sum" for s in samples):
+            errors.append(f"histogram {fam} has no _sum sample")
+
+    names = {s[0] for s in samples}
+    for req in required:
+        if req not in names:
+            errors.append(f"required series {req!r} is missing")
+
+    if not samples:
+        errors.append("payload contains no samples")
+    return errors, len(samples), len(types)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    path = argv[1]
+    required = [argv[i + 1] for i, a in enumerate(argv) if a == "--require"]
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    errors, nsamples, nfamilies = check(text, required)
+    for e in errors:
+        print(f"{path}: {e}")
+    if errors:
+        return 1
+    print(f"{path}: OK ({nfamilies} families, {nsamples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
