@@ -272,14 +272,15 @@ fn monitor_from(args: &Args) -> Result<(Monitor, Option<MetricsServer>), CmdErro
     if !every.is_finite() || every <= 0.0 {
         return Err(CmdError::Other("--sample-every must be positive".into()));
     }
+    let capacity = args.get_or("sample-capacity", SamplerConfig::default().capacity)?;
+    if capacity == 0 {
+        return Err(CmdError::Other("--sample-capacity must be >= 1".into()));
+    }
     match args.get("timeseries") {
         None => {}
         Some("") => return Err(CmdError::Other("--timeseries needs a file path".into())),
         Some(_) => {
-            monitor.sampler = Some(SamplerConfig {
-                every,
-                ..SamplerConfig::default()
-            });
+            monitor.sampler = Some(SamplerConfig { every, capacity });
         }
     }
     if args.has("profile") {
@@ -329,6 +330,14 @@ fn finish_monitor(monitor: &Monitor, r: &RunResult, args: &Args) -> String {
                         ts.sample_every
                     )),
                     Err(e) => notes.push_str(&format!("WARNING: could not write {path}: {e}\n")),
+                }
+                if ts.dropped > 0 {
+                    notes.push_str(&format!(
+                        "WARNING: time series ring saturated; the {} oldest points were \
+                         dropped — the series in {path} is truncated (raise --sample-capacity \
+                         or --sample-every)\n",
+                        ts.dropped
+                    ));
                 }
             }
             None => notes.push_str(&format!(
@@ -1334,6 +1343,103 @@ mod tests {
     }
 
     #[test]
+    fn bench_diff_tolerates_pre_stamp_pre_precision_old_files() {
+        // An OLD file written before the `precision` row field and the
+        // `generated_utc`/`git_commit` stamps existed must diff cleanly
+        // (defaults applied), not panic or error.
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let old = dir.join(format!("arls_cli_bench_oldfmt_{pid}.json"));
+        let new = dir.join(format!("arls_cli_bench_newfmt_{pid}.json"));
+        std::fs::write(
+            &old,
+            r#"{"mode":"full",
+               "schedulers":[{"label":"Adaptive-RL","tasks_per_s":1000.0}],
+               "aggregate":{"tasks_per_s":1000.0}}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &new,
+            r#"{"mode":"full","generated_utc":"2026-08-02T00:00:00Z","git_commit":"bbbb",
+               "schedulers":[
+                 {"label":"Adaptive-RL","precision":"f64","tasks_per_s":1100.0}],
+               "aggregate":{"tasks_per_s":1100.0}}"#,
+        )
+        .unwrap();
+        let (old_str, new_str) = (
+            old.to_string_lossy().into_owned(),
+            new.to_string_lossy().into_owned(),
+        );
+        let out = bench(&parse(&["bench", "diff", &old_str, &new_str])).expect("old-format diff");
+        // The unstamped old row defaults to f64 precision, so it matches
+        // the new f64 row and reports a delta rather than new/gone.
+        assert!(out.contains("+10.0%"), "missing delta in {out}");
+        assert!(out.contains("unstamped"), "missing stamp default in {out}");
+        std::fs::remove_file(&old).ok();
+        std::fs::remove_file(&new).ok();
+    }
+
+    #[test]
+    fn saturated_timeseries_ring_warns_about_dropped_points() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let series = dir.join(format!("arls_cli_dropped_{pid}.jsonl"));
+        let s_str = series.to_string_lossy().into_owned();
+        let out = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "120",
+            "--offered",
+            "0.6",
+            "--seed",
+            "5",
+            "--timeseries",
+            &s_str,
+            "--sample-every",
+            "5",
+            "--sample-capacity",
+            "2",
+        ]))
+        .expect("sampled simulate");
+        assert!(
+            out.contains("WARNING: time series ring saturated"),
+            "missing dropped-points warning in {out}"
+        );
+        assert!(out.contains("--sample-capacity"), "no remedy hint in {out}");
+        // The truncated file still exists, with its meta line carrying
+        // the drop count.
+        let text = std::fs::read_to_string(&series).expect("series file");
+        let meta = telemetry::json::parse(text.lines().next().unwrap()).expect("meta");
+        let dropped = meta
+            .path(&["meta", "dropped"])
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!(dropped > 0.0, "expected drops, meta says {dropped}");
+        std::fs::remove_file(&series).ok();
+
+        // A roomy ring on the same run stays warning-free.
+        let out = simulate(&parse(&[
+            "simulate",
+            "--tasks",
+            "120",
+            "--offered",
+            "0.6",
+            "--seed",
+            "5",
+            "--timeseries",
+            &s_str,
+            "--sample-every",
+            "5",
+        ]))
+        .expect("sampled simulate");
+        assert!(
+            !out.contains("ring saturated"),
+            "unexpected warning in {out}"
+        );
+        std::fs::remove_file(&series).ok();
+    }
+
+    #[test]
     fn bad_monitoring_flags_are_rejected() {
         assert!(simulate(&parse(&["simulate", "--metrics-addr"])).is_err());
         assert!(simulate(&parse(&["simulate", "--metrics-out"])).is_err());
@@ -1343,6 +1449,14 @@ mod tests {
             "--timeseries",
             "/tmp/ts.jsonl",
             "--sample-every",
+            "0"
+        ]))
+        .is_err());
+        assert!(simulate(&parse(&[
+            "simulate",
+            "--timeseries",
+            "/tmp/ts.jsonl",
+            "--sample-capacity",
             "0"
         ]))
         .is_err());

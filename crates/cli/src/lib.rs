@@ -10,6 +10,7 @@
 pub mod args;
 pub mod commands;
 pub mod select;
+pub mod serve;
 
 pub use args::{ArgError, Args};
 
@@ -84,6 +85,24 @@ USAGE:
 
   arls trace run PATH [--scheduler S] [--seed N]
       replay a trace file through a scheduler
+
+  arls serve [--listen HOST:PORT] [--scheduler S] [--seed N] [--sites N]
+             [--pace F] [--metrics-addr HOST:PORT] [--port-file PATH]
+             [--checkpoint-dir D] [--checkpoint-every-secs F]
+             [--resume-from SNAPSHOT] [--run-for-secs F]
+      run the live scheduling daemon: task submissions arrive as
+      line-delimited JSON over TCP (one {\"submit\":…} object per line)
+      and placement/completion notifications stream back on the same
+      connection; sim time advances at --pace sim time units per wall
+      second (default 100; 0 freezes the clock). --metrics-addr serves
+      the shared arls_* / arls_ingest_* families on /metrics.
+      --checkpoint-dir snapshots the full live state on the
+      --checkpoint-every-secs timer and once more on SIGTERM/SIGINT;
+      --resume-from restarts bit-exactly from such a snapshot (the
+      scheduler and its learning state come from the file). --port-file
+      writes the bound addresses for scripts; --run-for-secs bounds the
+      run for tests. drive it with the load_driver bin:
+      cargo run --release -p arl-experiments --bin load_driver -- --addr …
 
   arls bench diff OLD.json NEW.json
       compare two BENCH_throughput.json files per (scheduler, precision) row

@@ -12,6 +12,7 @@ fn main() {
         Some("compare") => commands::compare(&args),
         Some("trace") => commands::trace(&args),
         Some("bench") => commands::bench(&args),
+        Some("serve") => arl_cli::serve::serve(&args),
         Some("settings") => {
             // Same content as the arl-experiments `settings` binary.
             let sc = experiments::Scenario::new(2011, 3000, 1.0);

@@ -207,6 +207,26 @@ pub fn resume_from_reader<S: Scheduler>(
     r: &mut SnapReader<'_>,
     sched: &mut S,
 ) -> Result<RunResult, SnapshotError> {
+    let (mut driver, mut engine) = restore_from_reader(r, sched)?;
+    let outcome = engine.run(&mut driver);
+    let events_processed = engine.processed();
+    let max_queue_occupancy = engine.queue().max_occupancy();
+    Ok(assemble_result(
+        driver,
+        outcome,
+        events_processed,
+        max_queue_occupancy,
+    ))
+}
+
+/// Decodes a snapshot into a paused `(Driver, Engine)` pair without
+/// running it — the shared restore path behind [`resume_from_reader`]
+/// (which drives it to completion) and the serving session (which
+/// resumes it in paced [`Engine::run_until`] slices).
+pub(crate) fn restore_from_reader<'s, S: Scheduler>(
+    r: &mut SnapReader<'_>,
+    sched: &'s mut S,
+) -> Result<(Driver<'s, S>, Engine<Ev>), SnapshotError> {
     let name = r.str()?;
     if name != sched.name() {
         return Err(corrupt(format!(
@@ -377,7 +397,7 @@ pub fn resume_from_reader<S: Scheduler>(
         )));
     }
 
-    let mut driver = Driver {
+    let driver = Driver {
         platform,
         tasks,
         sched,
@@ -424,16 +444,8 @@ pub fn resume_from_reader<S: Scheduler>(
         settled_at,
     };
     let queue = EventQueue::from_entries(entries, next_seq);
-    let mut engine = Engine::from_parts(queue, now, processed, fuse);
-    let outcome = engine.run(&mut driver);
-    let events_processed = engine.processed();
-    let max_queue_occupancy = engine.queue().max_occupancy();
-    Ok(assemble_result(
-        driver,
-        outcome,
-        events_processed,
-        max_queue_occupancy,
-    ))
+    let engine = Engine::from_parts(queue, now, processed, fuse);
+    Ok((driver, engine))
 }
 
 // ---------------------------------------------------------------------------

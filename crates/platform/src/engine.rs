@@ -1881,6 +1881,7 @@ pub fn outcome_name(o: RunOutcome) -> &'static str {
         RunOutcome::Drained => "Drained",
         RunOutcome::Stopped => "Stopped",
         RunOutcome::FuseBlown => "FuseBlown",
+        RunOutcome::Paused => "Paused",
     }
 }
 

@@ -42,6 +42,7 @@ pub mod power;
 pub mod processor;
 pub mod queue;
 pub mod scheduler;
+pub mod session;
 pub mod topology;
 pub mod view;
 
@@ -56,5 +57,6 @@ pub use oracle::{audit_result, replay_divergence, AuditReport, Oracle, Violation
 pub use power::PowerParams;
 pub use processor::{ProcState, Processor};
 pub use scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler};
+pub use session::{ScheduleSession, SessionEvent};
 pub use topology::{Platform, PlatformSpec, SiteStats};
 pub use view::{NodeView, PlatformView};

@@ -72,6 +72,9 @@ pub enum RunOutcome {
     Stopped,
     /// The event fuse blew before the queue drained.
     FuseBlown,
+    /// A [`Engine::run_until`] horizon was reached with at least one
+    /// future event still pending.
+    Paused,
 }
 
 /// The dispatch loop.
@@ -172,6 +175,49 @@ impl<E> Engine<E> {
             }
         }
         RunOutcome::Drained
+    }
+
+    /// Runs `sim` through every event scheduled at or before `until`,
+    /// then pauses with the remaining future events intact.
+    ///
+    /// This is the step-driven mode a paced service loop needs: the
+    /// caller owns the outer clock (wall time, a pacing budget) and
+    /// advances the simulation horizon in increments, injecting new
+    /// events between calls with [`Engine::prime`]. The clock stays at
+    /// the firing time of the last processed event — it never jumps to
+    /// an event-free horizon — so an engine driven by `run_until` slices
+    /// is state-for-state identical to one that ran the same events in a
+    /// single [`Engine::run`], and [`Engine::from_parts`] round-trips
+    /// are unaffected.
+    ///
+    /// Returns [`RunOutcome::Paused`] when events remain beyond
+    /// `until`, [`RunOutcome::Drained`] when the queue is empty, and
+    /// `Stopped`/`FuseBlown` exactly as [`Engine::run`] does.
+    pub fn run_until<S>(&mut self, until: SimTime, sim: &mut S) -> RunOutcome
+    where
+        S: Simulation<Event = E>,
+    {
+        loop {
+            match self.queue.next_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > until => return RunOutcome::Paused,
+                Some(_) => {}
+            }
+            let scheduled = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(scheduled.time >= self.now, "event queue must be monotone");
+            self.now = scheduled.time;
+            self.processed += 1;
+            let mut handle = EngineHandle {
+                now: self.now,
+                queue: &mut self.queue,
+            };
+            if !sim.on_event(self.now, scheduled.event, &mut handle) {
+                return RunOutcome::Stopped;
+            }
+            if self.processed >= self.fuse {
+                return RunOutcome::FuseBlown;
+            }
+        }
     }
 
     /// [`Engine::run`] with a post-event observation hook.
@@ -368,6 +414,61 @@ mod tests {
             .unwrap();
         assert_eq!(pop.calls, 4);
         assert_eq!(handle.calls, 4);
+    }
+
+    #[test]
+    fn run_until_slices_match_a_single_run() {
+        let mut whole = Bouncer {
+            remaining: 5,
+            times: Vec::new(),
+        };
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.5), Bounce);
+        engine.run(&mut whole);
+
+        let mut sliced = Bouncer {
+            remaining: 5,
+            times: Vec::new(),
+        };
+        let mut engine = Engine::new();
+        engine.prime(SimTime::new(0.5), Bounce);
+        // Horizons before the first event, mid-stream, exactly on an
+        // event time, and past the end.
+        assert_eq!(
+            engine.run_until(SimTime::new(0.25), &mut sliced),
+            RunOutcome::Paused
+        );
+        assert!(sliced.times.is_empty());
+        assert_eq!(engine.now(), SimTime::ZERO, "no event fired yet");
+        assert_eq!(
+            engine.run_until(SimTime::new(2.5), &mut sliced),
+            RunOutcome::Paused
+        );
+        assert_eq!(sliced.times, vec![0.5, 1.5, 2.5]);
+        assert_eq!(engine.now().as_f64(), 2.5, "clock stops at last event");
+        assert_eq!(
+            engine.run_until(SimTime::new(100.0), &mut sliced),
+            RunOutcome::Drained
+        );
+        assert_eq!(sliced.times, whole.times);
+        assert_eq!(engine.processed(), 6);
+
+        // New events primed after a pause are picked up by later slices.
+        let mut late = Bouncer {
+            remaining: 0,
+            times: Vec::new(),
+        };
+        let mut engine = Engine::new();
+        assert_eq!(
+            engine.run_until(SimTime::new(1.0), &mut late),
+            RunOutcome::Drained
+        );
+        engine.prime(SimTime::new(3.0), Bounce);
+        assert_eq!(
+            engine.run_until(SimTime::new(5.0), &mut late),
+            RunOutcome::Drained
+        );
+        assert_eq!(late.times, vec![3.0]);
     }
 
     #[test]

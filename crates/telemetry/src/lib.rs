@@ -38,6 +38,7 @@
 
 mod chrome;
 mod fmt;
+pub mod ingest;
 pub mod json;
 mod jsonl;
 pub mod metrics;
@@ -49,6 +50,7 @@ mod stats;
 mod timeseries;
 
 pub use chrome::ChromeTraceSink;
+pub use ingest::IngestMetrics;
 pub use jsonl::JsonlSink;
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use profile::{Phase, PhaseProfiler, PhaseStat, ProfileReport, PHASES};

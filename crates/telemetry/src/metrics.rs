@@ -682,6 +682,34 @@ mod tests {
     }
 
     #[test]
+    fn quantile_with_all_mass_in_overflow_bucket_clamps_finite() {
+        // Regression: when every observation lands beyond the last
+        // finite bound, no finite bucket satisfies the rank and the
+        // estimate must clamp to the last finite edge — never
+        // interpolate into the +Inf bucket or return inf/NaN.
+        let reg = MetricsRegistry::with_shards(2);
+        let h = reg.histogram("ovf", "All overflow.", &[], &[1.0, 2.0, 4.0]);
+        for (shard, v) in [(0, 10.0), (1, 100.0), (0, 1e12), (1, f64::INFINITY)] {
+            h.observe(shard, v);
+        }
+        assert_eq!(h.bucket_counts(), vec![0, 0, 0]);
+        assert_eq!(h.count(), 4);
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!(est.is_finite(), "q={q} produced non-finite {est}");
+            assert_eq!(est, 4.0, "q={q} must clamp to the last finite edge");
+        }
+        // Mixed mass: high quantiles whose rank exceeds the finite
+        // cumulative count clamp the same way.
+        let m = reg.histogram("mix", "Partial overflow.", &[], &[1.0, 2.0]);
+        m.observe(0, 0.5);
+        m.observe(0, 50.0);
+        m.observe(0, 50.0);
+        let p99 = m.quantile(0.99).unwrap();
+        assert_eq!(p99, 2.0, "rank beyond finite buckets clamps to last edge");
+    }
+
+    #[test]
     fn exposition_order_is_stable() {
         let reg = MetricsRegistry::new();
         reg.counter("zeta_total", "Last family.", &[]);

@@ -93,7 +93,18 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Resu
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let head = read_head(&mut stream)?;
+    let head = match read_head(&mut stream)? {
+        Head::Complete(head) => head,
+        Head::TooLarge => {
+            let body = "request head exceeds 8 KiB\n";
+            let response = format!(
+                "HTTP/1.1 431 Request Header Fields Too Large\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(response.as_bytes())?;
+            return stream.flush();
+        }
+    };
     let mut parts = head
         .lines()
         .next()
@@ -127,22 +138,41 @@ fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Resu
     stream.flush()
 }
 
-/// Reads until the blank line ending the request head (8 KiB cap — a
-/// scrape request head is a few hundred bytes).
-fn read_head(stream: &mut TcpStream) -> std::io::Result<String> {
+/// Hard cap on the accumulated request head. A scrape request head is a
+/// few hundred bytes; anything larger is a confused or hostile client.
+const MAX_HEAD_BYTES: usize = 8192;
+
+/// Outcome of reading one request head.
+enum Head {
+    /// Terminated by the blank line — or by peer half-close, which ends
+    /// the head just as definitively (the client has nothing more to
+    /// say, so waiting out the read timeout would be pointless).
+    Complete(String),
+    /// Grew past [`MAX_HEAD_BYTES`] without terminating; the caller must
+    /// answer 431 and close rather than parse a truncated head.
+    TooLarge,
+}
+
+/// Reads until the blank line ending the request head, bounded by
+/// [`MAX_HEAD_BYTES`].
+fn read_head(stream: &mut TcpStream) -> std::io::Result<Head> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
         let n = stream.read(&mut chunk)?;
         if n == 0 {
+            // Peer half-close: whatever arrived is the whole head.
             break;
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
             break;
         }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Ok(Head::TooLarge);
+        }
     }
-    Ok(String::from_utf8_lossy(&buf).into_owned())
+    Ok(Head::Complete(String::from_utf8_lossy(&buf).into_owned()))
 }
 
 #[cfg(test)]
@@ -153,21 +183,28 @@ mod tests {
     fn request(addr: SocketAddr, req: &str) -> (String, String) {
         let mut s = TcpStream::connect(addr).expect("connect");
         s.write_all(req.as_bytes()).unwrap();
-        let mut reader = BufReader::new(s);
-        let mut status = String::new();
-        reader.read_line(&mut status).unwrap();
-        let mut body = String::new();
-        let mut line = String::new();
-        // Skip remaining headers.
+        // Read the whole response. The server closes immediately after a
+        // 431, which can surface as ECONNRESET once the status bytes have
+        // arrived — treat that like EOF, the way a real scrape client does.
+        let mut raw = Vec::new();
+        let mut chunk = [0u8; 4096];
         loop {
-            line.clear();
-            reader.read_line(&mut line).unwrap();
-            if line == "\r\n" || line.is_empty() {
-                break;
+            match s.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset && !raw.is_empty() => {
+                    break
+                }
+                Err(e) => panic!("read response: {e}"),
             }
         }
-        reader.read_to_string(&mut body).unwrap();
-        (status.trim_end().to_string(), body)
+        let text = String::from_utf8_lossy(&raw).into_owned();
+        let status = text.lines().next().unwrap_or_default().to_string();
+        let body = text
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
     }
 
     #[test]
@@ -195,6 +232,49 @@ mod tests {
 
         server.shutdown();
         // Idempotent shutdown, and the port is released.
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_head_is_answered_431_and_closed() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut server = MetricsServer::serve("127.0.0.1:0", registry).expect("bind");
+        let addr = server.local_addr();
+
+        // A head that never terminates: > 8 KiB of header bytes with no
+        // blank line. The server must refuse it rather than buffer on.
+        let mut req = String::from("GET /metrics HTTP/1.1\r\n");
+        while req.len() <= MAX_HEAD_BYTES {
+            req.push_str("X-Padding: ");
+            req.push_str(&"a".repeat(500));
+            req.push_str("\r\n");
+        }
+        let (status, _) = request(addr, &req);
+        assert_eq!(status, "HTTP/1.1 431 Request Header Fields Too Large");
+
+        // The endpoint still serves normal requests afterwards.
+        let (status, _) = request(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        server.shutdown();
+    }
+
+    #[test]
+    fn half_close_without_blank_line_still_gets_an_answer() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut server = MetricsServer::serve("127.0.0.1:0", registry).expect("bind");
+        let addr = server.local_addr();
+
+        // Send a request line with no terminating blank line, then shut
+        // down the write half. The 0-byte read must end the head (the
+        // client can say nothing more), not spin until the read timeout.
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n")
+            .unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut reader = BufReader::new(s);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        assert_eq!(status.trim_end(), "HTTP/1.1 200 OK");
         server.shutdown();
     }
 }

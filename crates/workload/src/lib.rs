@@ -21,11 +21,13 @@
 pub mod generator;
 pub mod priority;
 pub mod profile;
+pub mod submit;
 pub mod task;
 pub mod trace;
 
 pub use generator::{Workload, WorkloadSpec};
 pub use priority::{Priority, PriorityMix};
 pub use profile::WorkloadProfile;
+pub use submit::{Notification, Submission, SubmitTask};
 pub use task::{SiteId, Task, TaskId};
 pub use trace::{load_trace, read_trace, save_trace, write_trace};
