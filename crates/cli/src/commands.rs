@@ -5,7 +5,7 @@ use crate::args::{ArgError, Args};
 use crate::select::scheduler_from;
 use experiments::{runner, Monitor, Scenario, SchedulerKind};
 use metrics::RunSummary;
-use platform::{CheckpointConfig, ExecEngine, PlatformSpec, RunResult, SamplerConfig};
+use platform::{CheckpointConfig, ExecEngine, RunResult, SamplerConfig};
 use std::sync::Arc;
 use std::time::Duration;
 use telemetry::{
@@ -64,6 +64,11 @@ fn scenario_from(args: &Args) -> Result<Scenario, CmdError> {
         return Err(CmdError::Other("--offered must be positive".into()));
     }
     let mut sc = Scenario::new(seed, tasks, offered);
+    if args.has("scale") {
+        // The 100-site / ~100 k-processor shape of the sharded scaling
+        // study; --sites still overrides the site count below.
+        sc.platform = Scenario::scaling_platform();
+    }
     if let Some(sites) = args.get("sites") {
         let sites: u32 = sites.parse().map_err(|_| {
             CmdError::Args(ArgError::BadValue {
@@ -75,10 +80,7 @@ fn scenario_from(args: &Args) -> Result<Scenario, CmdError> {
         if sites == 0 {
             return Err(CmdError::Other("--sites must be at least 1".into()));
         }
-        sc.platform = PlatformSpec {
-            num_sites: sites,
-            ..Scenario::experiment_platform()
-        };
+        sc.platform.num_sites = sites;
     }
     if args.has("no-split") {
         sc.exec.split_enabled = false;
@@ -304,6 +306,33 @@ fn checkpoint_from(args: &Args) -> Result<Option<CheckpointConfig>, CmdError> {
     }
 }
 
+/// Parses `--shards {auto,N}` into a worker count for the sharded
+/// parallel engine; `None` (flag absent) selects the sequential engine.
+fn shards_from(args: &Args, sc: &Scenario) -> Result<Option<usize>, CmdError> {
+    match args.get("shards") {
+        None => Ok(None),
+        Some("") => Err(CmdError::Other(
+            "--shards needs `auto` or a worker count".into(),
+        )),
+        Some("auto") => Ok(Some(platform::auto_shards(sc.platform.num_sites as usize))),
+        Some(raw) => {
+            let n: usize = raw.parse().map_err(|_| {
+                CmdError::Args(ArgError::BadValue {
+                    flag: "shards".into(),
+                    value: raw.into(),
+                    expected: "`auto` or a positive integer",
+                })
+            })?;
+            if n == 0 {
+                return Err(CmdError::Other(
+                    "--shards must be at least 1 (or `auto`)".into(),
+                ));
+            }
+            Ok(Some(n))
+        }
+    }
+}
+
 /// Post-run half of the monitoring flags: the Prometheus dump
 /// (`--metrics-out`), the time-series JSONL (`--timeseries`) and the
 /// profiler table + `PROFILE_*.json` artifact (`--profile`).
@@ -373,27 +402,49 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
                 .into(),
         ));
     }
+    let shards = shards_from(args, &sc)?;
+    if shards.is_some()
+        && (rec.is_some() || ck.is_some() || monitor.is_active() || server.is_some())
+    {
+        return Err(CmdError::Other(
+            "--shards does not compose with --trace/--progress/--checkpoint-*/--metrics-*/\
+             --timeseries/--profile (the sharded engine has no single global event loop to \
+             observe)"
+                .into(),
+        ));
+    }
     let mut ck_note = None;
-    let r = match ck {
-        Some(ck) => {
-            let dir = ck.dir.clone();
-            let run = experiments::checkpoint::run_scenario_checkpointed(&sc, &kind, ck);
-            if let Some(e) = run.write_error {
-                return Err(CmdError::Snapshot(e));
+    let r = match (shards, ck) {
+        (Some(n), _) => {
+            // Worker count to stderr only: the CI shard-smoke job diffs
+            // stdout between --shards values byte-for-byte.
+            eprintln!(
+                "sharded engine: {n} worker thread(s) over {} site shards",
+                sc.platform.num_sites
+            );
+            runner::run_sharded(&sc, &kind, n)
+        }
+        (None, ck) => match ck {
+            Some(ck) => {
+                let dir = ck.dir.clone();
+                let run = experiments::checkpoint::run_scenario_checkpointed(&sc, &kind, ck);
+                if let Some(e) = run.write_error {
+                    return Err(CmdError::Snapshot(e));
+                }
+                ck_note = Some(format!(
+                    "checkpoints: {} written to {} (resume with `arls resume SNAPSHOT`)\n",
+                    run.checkpoints_written,
+                    dir.display()
+                ));
+                run.result
             }
-            ck_note = Some(format!(
-                "checkpoints: {} written to {} (resume with `arls resume SNAPSHOT`)\n",
-                run.checkpoints_written,
-                dir.display()
-            ));
-            run.result
-        }
-        None if monitor.is_active() => {
-            runner::run_scenario_monitored(&sc, &kind, rec.as_ref(), &monitor)
-        }
-        None => match &rec {
-            Some(rec) => runner::run_scenario_traced(&sc, &kind, rec),
-            None => runner::run_scenario(&sc, &kind),
+            None if monitor.is_active() => {
+                runner::run_scenario_monitored(&sc, &kind, rec.as_ref(), &monitor)
+            }
+            None => match &rec {
+                Some(rec) => runner::run_scenario_traced(&sc, &kind, rec),
+                None => runner::run_scenario(&sc, &kind),
+            },
         },
     };
     if let Some(s) = &mut server {
@@ -434,8 +485,13 @@ pub fn simulate(args: &Args) -> Result<String, CmdError> {
         }
         // Replay determinism: an identical second run must reproduce the
         // result bit-for-bit (the recorder is left off — telemetry is not
-        // part of the replay contract).
-        let replay = runner::run_scenario(&sc, &kind);
+        // part of the replay contract). A sharded run replays at a
+        // *different* worker count, so the audit doubles as a live
+        // thread-count-invariance check.
+        let replay = match shards {
+            Some(n) => runner::run_sharded(&sc, &kind, if n == 1 { 2 } else { n - 1 }),
+            None => runner::run_scenario(&sc, &kind),
+        };
         if let Some(d) = platform::replay_divergence(&r, &replay) {
             return Err(CmdError::Other(format!("replay audit FAILED: {d}")));
         }
@@ -550,6 +606,11 @@ pub fn trace(args: &Args) -> Result<String, CmdError> {
 struct BenchRow {
     label: String,
     precision: String,
+    /// Sharded-engine worker count; rows written before the field
+    /// existed (all single-loop) default to `1`. Keying deltas on
+    /// `(label, precision, shards)` keeps a scaled-out row from
+    /// tripping against a single-worker baseline of the same scheduler.
+    shards: u64,
     tasks_per_s: f64,
 }
 
@@ -588,6 +649,11 @@ fn load_bench(path: &str) -> Result<BenchFile, CmdError> {
                             .and_then(|p| p.as_str())
                             .unwrap_or("f64")
                             .to_string(),
+                        shards: o
+                            .get("shards")
+                            .and_then(|s| s.as_f64())
+                            .map(|s| s as u64)
+                            .unwrap_or(1),
                         tasks_per_s: o.get("tasks_per_s")?.as_f64()?,
                     })
                 })
@@ -636,47 +702,49 @@ pub fn bench(args: &Args) -> Result<String, CmdError> {
             }
             out.push('\n');
             out.push_str(&format!(
-                "{:<28} {:>5} {:>14} {:>14} {:>8}\n",
-                "scheduler", "prec", "old tasks/s", "new tasks/s", "delta"
+                "{:<28} {:>5} {:>3} {:>14} {:>14} {:>8}\n",
+                "scheduler", "prec", "sh", "old tasks/s", "new tasks/s", "delta"
             ));
+            let same = |a: &BenchRow, b: &BenchRow| {
+                a.label == b.label && a.precision == b.precision && a.shards == b.shards
+            };
             for row in &new.rows {
                 let old_rate = old
                     .rows
                     .iter()
-                    .find(|o| o.label == row.label && o.precision == row.precision)
+                    .find(|o| same(o, row))
                     .map(|o| o.tasks_per_s);
                 match old_rate {
                     Some(o) if o > 0.0 => out.push_str(&format!(
-                        "{:<28} {:>5} {:>14.0} {:>14.0} {:>+7.1}%\n",
+                        "{:<28} {:>5} {:>3} {:>14.0} {:>14.0} {:>+7.1}%\n",
                         row.label,
                         row.precision,
+                        row.shards,
                         o,
                         row.tasks_per_s,
                         100.0 * (row.tasks_per_s / o - 1.0)
                     )),
                     _ => out.push_str(&format!(
-                        "{:<28} {:>5} {:>14} {:>14.0} {:>8}\n",
-                        row.label, row.precision, "-", row.tasks_per_s, "new"
+                        "{:<28} {:>5} {:>3} {:>14} {:>14.0} {:>8}\n",
+                        row.label, row.precision, row.shards, "-", row.tasks_per_s, "new"
                     )),
                 }
             }
             for row in &old.rows {
-                let gone = !new
-                    .rows
-                    .iter()
-                    .any(|n| n.label == row.label && n.precision == row.precision);
+                let gone = !new.rows.iter().any(|n| same(n, row));
                 if gone {
                     out.push_str(&format!(
-                        "{:<28} {:>5} {:>14.0} {:>14} {:>8}\n",
-                        row.label, row.precision, row.tasks_per_s, "-", "gone"
+                        "{:<28} {:>5} {:>3} {:>14.0} {:>14} {:>8}\n",
+                        row.label, row.precision, row.shards, row.tasks_per_s, "-", "gone"
                     ));
                 }
             }
             if let (Some(o), Some(n)) = (old.aggregate, new.aggregate) {
                 if o > 0.0 {
                     out.push_str(&format!(
-                        "{:<28} {:>5} {:>14.0} {:>14.0} {:>+7.1}%\n",
+                        "{:<28} {:>5} {:>3} {:>14.0} {:>14.0} {:>+7.1}%\n",
                         "aggregate",
+                        "",
                         "",
                         o,
                         n,

@@ -20,8 +20,8 @@ arls — Adaptive-RL energy-aware scheduling simulator
 
 USAGE:
   arls simulate [--scheduler S] [--tasks N] [--offered F] [--seed N]
-                [--sites N] [--no-split] [--gating] [--precision P]
-                [--csv] [--audit] [fault flags]
+                [--sites N] [--scale] [--shards {auto,N}] [--no-split]
+                [--gating] [--precision P] [--csv] [--audit] [fault flags]
       run one scenario and print the run summary
       schedulers: adaptive (default), online, qplus, prediction, rr, greedy
       --precision selects the adaptive scheduler's value-network kernels:
@@ -30,6 +30,14 @@ USAGE:
       --audit runs the correctness oracle alongside the simulation
       (conservation invariants, shadow energy accounting, replay check)
       and exits non-zero on any violation
+      --shards runs the sharded parallel engine: one shard per site,
+      spread over N worker threads (auto = available cores); results are
+      bit-identical for every N. does not compose with the trace /
+      checkpoint / monitoring flags. with --audit, per-shard oracles and
+      the cross-shard conservation check run at every epoch barrier and
+      the replay uses a different worker count
+      --scale selects the 100-site / ~100k-processor scaling platform
+      (the sharding study's shape; --sites still overrides the count)
 
   fault flags (simulate, compare, trace generate):
       --faults                 enable fault injection (needs a source below)
@@ -105,7 +113,8 @@ USAGE:
       cargo run --release -p arl-experiments --bin load_driver -- --addr …
 
   arls bench diff OLD.json NEW.json
-      compare two BENCH_throughput.json files per (scheduler, precision) row
+      compare two BENCH_throughput.json files per (scheduler, precision,
+      shards) row; rows predating the shards field count as shards = 1
 
   arls settings
       print the paper-vs-reproduction experiment settings table

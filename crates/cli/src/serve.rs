@@ -23,7 +23,9 @@
 //!
 //! The daemon is single-threaded and non-blocking throughout (the same
 //! dependency-free socket style as the metrics server): one loop
-//! accepts, reads, advances, notifies, flushes, checkpoints.
+//! accepts, reads, advances, notifies, flushes, checkpoints — and parks
+//! with a short exponential backoff when a pass does no work, so an idle
+//! daemon costs ~0% CPU.
 
 use crate::args::Args;
 use crate::commands::CmdError;
@@ -74,8 +76,13 @@ fn install_signal_handlers() {
 /// growing the buffer without bound.
 const MAX_CLIENT_BACKLOG: usize = 1 << 20;
 
-/// Serve-loop cadence: how long the loop sleeps when idle.
-const LOOP_SLEEP: Duration = Duration::from_millis(5);
+/// Idle-backoff floor: the first park after an active pass.
+const IDLE_SLEEP_MIN: Duration = Duration::from_millis(1);
+
+/// Idle-backoff ceiling. Bounds how stale the loop's timers (pacing,
+/// monitor refresh, checkpoints, shutdown flag) can get while parked, so
+/// an idle daemon burns ~0% CPU yet still reacts within ~50 ms.
+const IDLE_SLEEP_MAX: Duration = Duration::from_millis(50);
 
 /// How often the live gauges are refreshed from the session.
 const MONITOR_REFRESH: Duration = Duration::from_millis(200);
@@ -291,8 +298,15 @@ fn run_daemon<S: Scheduler>(
     let mut last_checkpoint = Instant::now();
     let mut last_refresh = Instant::now();
     let mut read_chunk = [0u8; 4096];
+    // Adaptive idle park: any accept, read, or sim-time event resets the
+    // backoff to the floor; consecutive quiet passes double it up to the
+    // ceiling. An active pass loops straight back without sleeping, so a
+    // busy daemon stays hot while an idle one costs ~0% CPU (the old
+    // fixed 5 ms poll spun ~200 wakeups/s forever).
+    let mut idle_sleep = IDLE_SLEEP_MIN;
 
     loop {
+        let mut active = false;
         if SHUTDOWN.load(Ordering::SeqCst) {
             break;
         }
@@ -310,6 +324,7 @@ fn run_daemon<S: Scheduler>(
                         continue;
                     }
                     opts.ingest.connections.inc(0);
+                    active = true;
                     clients.push(Client {
                         stream,
                         inbuf: Vec::new(),
@@ -331,10 +346,14 @@ fn run_daemon<S: Scheduler>(
             loop {
                 match client.stream.read(&mut read_chunk) {
                     Ok(0) => {
+                        active = true;
                         client.close();
                         break;
                     }
-                    Ok(n) => client.inbuf.extend_from_slice(&read_chunk[..n]),
+                    Ok(n) => {
+                        active = true;
+                        client.inbuf.extend_from_slice(&read_chunk[..n]);
+                    }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == ErrorKind::Interrupted => continue,
                     Err(_) => {
@@ -361,6 +380,7 @@ fn run_daemon<S: Scheduler>(
             let target = base + start.elapsed().as_secs_f64() * opts.pace;
             events.clear();
             session.advance_to(SimTime::new(target), &mut events);
+            active |= !events.is_empty();
             for ev in &events {
                 let (task, n) = match ev {
                     SessionEvent::Placed { task, node, at } => (
@@ -422,7 +442,12 @@ fn run_daemon<S: Scheduler>(
             }
         }
 
-        std::thread::sleep(LOOP_SLEEP);
+        if active {
+            idle_sleep = IDLE_SLEEP_MIN;
+        } else {
+            std::thread::sleep(idle_sleep);
+            idle_sleep = (idle_sleep * 2).min(IDLE_SLEEP_MAX);
+        }
     }
 
     // Shutdown: one final checkpoint so `--resume-from` can pick up

@@ -11,7 +11,7 @@ use crate::state::{SiteObsCache, SiteObservation};
 use crate::value::ValueEstimator;
 use platform::{
     AssignmentFeedback, Command, GroupFeedback, LiveMetrics, NodeAddr, PlatformView, ProcAddr,
-    Scheduler,
+    Scheduler, SyncRecord,
 };
 use simcore::rng::RngStream;
 use simcore::time::SimTime;
@@ -123,6 +123,17 @@ pub struct AdaptiveRl {
     /// Phase profiler for `--profile` runs; `None` skips every clock
     /// read around observation build / scoring / training.
     prof: Option<Arc<PhaseProfiler>>,
+    /// Global site id of this instance's (single) agent when built via
+    /// [`AdaptiveRl::for_shard`]; `0` in the sequential engine, where
+    /// local agent indices *are* global site ids.
+    site_offset: u32,
+    /// Whether this instance is one shard of a sharded run: experiences
+    /// are logged for cross-shard sync and the memory spans every site.
+    shard_mode: bool,
+    /// Cross-shard sync records produced since the last drain.
+    sync_log: Vec<SyncRecord>,
+    /// Per-instance sequence counter for the canonical sync order.
+    sync_seq: u64,
 }
 
 impl AdaptiveRl {
@@ -164,8 +175,44 @@ impl AdaptiveRl {
             mem_misses: 0,
             mon: None,
             prof: None,
+            site_offset: 0,
+            shard_mode: false,
+            sync_log: Vec::new(),
+            sync_seq: 0,
             cfg,
         }
+    }
+
+    /// Creates the scheduler instance owning global site `global_site` of
+    /// a sharded run over `total_sites` sites.
+    ///
+    /// The single local agent draws from the same counter-based stream
+    /// the sequential engine would hand agent `global_site`
+    /// (`root(seed).derive_indexed("agent", global_site)`), and the
+    /// shared learning memory spans all `total_sites` rings so every
+    /// shard holds an identical replica: local experiences enter
+    /// immediately, foreign ones at the next epoch barrier via
+    /// [`Scheduler::apply_sync`], in canonical order. Exploration rate
+    /// and the value estimator stay per-site — decentralised learners,
+    /// as in the paper's multi-agent story.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or `global_site >= total_sites`.
+    pub fn for_shard(global_site: usize, total_sites: usize, cfg: AdaptiveRlConfig) -> Self {
+        assert!(
+            global_site < total_sites,
+            "site {global_site} outside platform of {total_sites} sites"
+        );
+        let mut s = Self::new(1, cfg);
+        let root = RngStream::root(s.cfg.seed);
+        s.agents = vec![Agent::new(
+            SiteId(0),
+            root.derive_indexed("agent", global_site as u64),
+        )];
+        s.memory = SharedLearningMemory::new(total_sites, s.cfg.memory_depth);
+        s.site_offset = global_site as u32;
+        s.shard_mode = true;
+        s
     }
 
     /// Attaches a telemetry recorder: per-decision events (chosen node,
@@ -604,11 +651,33 @@ impl Scheduler for AdaptiveRl {
         };
         let l_val = learning_value(fb.reward, fb.error, self.cfg.error_floor);
         self.memory.record(Experience {
-            agent: sample.site,
+            // In shard mode the single local agent occupies ring
+            // `site_offset`; sequentially the offset is 0 and local
+            // indices are global.
+            agent: self.site_offset + sample.site,
             action: sample.action,
             l_val,
             cycle: self.cycles,
         });
+        if self.shard_mode {
+            // Queue the experience for the epoch barrier; `seq` preserves
+            // this site's production order inside one epoch batch.
+            self.sync_seq += 1;
+            self.sync_log.push(SyncRecord {
+                time: now,
+                seq: self.sync_seq,
+                site: self.site_offset,
+                payload: [
+                    match sample.action.policy {
+                        crate::action::PolicyKind::Mixed => 0,
+                        crate::action::PolicyKind::Identical => 1,
+                    },
+                    sample.action.opnum as u64,
+                    l_val.to_bits(),
+                    self.cycles,
+                ],
+            });
+        }
         // The value-table delta: `train` returns the pre-update squared
         // error. NaN (rendered as JSON null) marks cycles that trained
         // nothing.
@@ -646,6 +715,31 @@ impl Scheduler for AdaptiveRl {
                 ],
             );
         }
+    }
+
+    fn drain_sync(&mut self, out: &mut Vec<SyncRecord>) {
+        out.append(&mut self.sync_log);
+    }
+
+    fn apply_sync(&mut self, rec: &SyncRecord) {
+        // Foreign shards' experiences replicate into this instance's
+        // shared memory; a malformed payload is ignored (the wire format
+        // is produced by this module, so this is defensive only).
+        let policy = match rec.payload[0] {
+            0 => crate::action::PolicyKind::Mixed,
+            1 => crate::action::PolicyKind::Identical,
+            _ => return,
+        };
+        let opnum = rec.payload[1] as usize;
+        if opnum == 0 || rec.site as usize >= self.memory.num_agents() {
+            return;
+        }
+        self.memory.record(Experience {
+            agent: rec.site,
+            action: ActionChoice { policy, opnum },
+            l_val: f64::from_bits(rec.payload[2]),
+            cycle: rec.payload[3],
+        });
     }
 
     fn save_state(&mut self, w: &mut snapshot::SnapWriter) {

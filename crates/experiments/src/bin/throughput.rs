@@ -36,6 +36,8 @@ struct Row {
     /// Value-kernel precision of the run (`"f64"` for every baseline; an
     /// extra `"f32"` Adaptive-RL row appears on `f32-kernels` builds).
     precision: &'static str,
+    /// Sharded-engine worker count; `1` for the sequential-engine rows.
+    shards: usize,
     wall_s: f64,
     tasks: usize,
     events: u64,
@@ -45,7 +47,8 @@ struct Row {
 
 /// Compares the fresh numbers against the committed
 /// `BENCH_throughput.json` (like-for-like only: same mode, and per row
-/// the same label AND kernel precision) and warns — non-fatally — when
+/// the same label AND kernel precision AND shard count) and warns —
+/// non-fatally — when
 /// throughput dropped by more than 25%, both on the aggregate and on
 /// each per-scheduler row (a regression confined to one scheduler,
 /// e.g. the neural value path of Adaptive RL, barely moves the
@@ -76,13 +79,20 @@ fn check_regression(path: &str, mode: &str, new_tasks_per_s: f64, rows: &[Row]) 
     };
     if let Some(old_rows) = old.get("schedulers").and_then(|v| v.as_array()) {
         for row in rows {
-            // Rows written before the precision field existed were all f64.
+            // Rows written before the precision field existed were all
+            // f64; rows written before the shards field were all on the
+            // single sequential loop, which keys as shards = 1.
             let old_rate = old_rows
                 .iter()
                 .find(|o| {
                     o.get("label").and_then(|l| l.as_str()) == Some(row.label)
                         && o.get("precision").and_then(|p| p.as_str()).unwrap_or("f64")
                             == row.precision
+                        && o.get("shards")
+                            .and_then(|s| s.as_f64())
+                            .map(|s| s as usize)
+                            .unwrap_or(1)
+                            == row.shards
                 })
                 .and_then(|o| o.get("tasks_per_s"))
                 .and_then(|v| v.as_f64());
@@ -201,6 +211,7 @@ fn main() {
         rows.push(Row {
             label: kind.label(),
             precision,
+            shards: 1,
             wall_s: wall,
             tasks,
             events,
@@ -209,6 +220,8 @@ fn main() {
         });
     }
 
+    // The aggregate covers the standard sequential rows only, so it stays
+    // comparable with bench files written before the scaling section.
     let total_wall: f64 = rows.iter().map(|r| r.wall_s).sum();
     let total_tasks: usize = rows.iter().map(|r| r.tasks).sum();
     let total_events: u64 = rows.iter().map(|r| r.events).sum();
@@ -218,6 +231,63 @@ fn main() {
         total_tasks as f64 / total_wall,
         total_events as f64 / total_wall
     );
+
+    // Sharded-engine scaling section: Adaptive RL on the datacenter-scale
+    // scenario at increasing worker counts. Same scenario for every
+    // count, so the rows isolate the parallel-speedup curve; the shards=1
+    // row is the sharded protocol on one thread (not the sequential
+    // engine — the two have different decentralised semantics).
+    let (scale_sc, scale_label, shard_counts): (Scenario, &'static str, &[usize]) = if quick {
+        let mut s = Scenario::scaling(0x5CA1E, 2000, 0.9);
+        s.platform = bench_platform(4, 5, 4);
+        (s, "Adaptive RL (scaling quick)", &[1, 2])
+    } else {
+        (
+            Scenario::scaling(0x5CA1E, 1_000_000, 0.9),
+            "Adaptive RL (100-site)",
+            &[1, 2, 4, 8],
+        )
+    };
+    {
+        let p = scale_sc.build_platform();
+        println!(
+            "scaling scenario: {} sites / {} nodes / {} processors, {} tasks",
+            p.num_sites(),
+            p.num_nodes(),
+            p.num_processors(),
+            scale_sc.num_tasks
+        );
+    }
+    let scale_kind = SchedulerKind::Adaptive(AdaptiveRlConfig::default());
+    let mut base_wall = None;
+    for &n in shard_counts {
+        let t0 = Instant::now();
+        let r = runner::run_sharded(&scale_sc, &scale_kind, n);
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            r.incomplete, 0,
+            "scaling run at {n} shard(s) left tasks behind"
+        );
+        let speedup = *base_wall.get_or_insert(wall) / wall;
+        println!(
+            "  {:<28} x{:<3} {:>8.3}s  {:>10.0} tasks/s  {:>12.0} events/s  ({speedup:.2}x vs 1 shard)",
+            scale_label,
+            n,
+            wall,
+            scale_sc.num_tasks as f64 / wall,
+            r.events_processed as f64 / wall
+        );
+        rows.push(Row {
+            label: scale_label,
+            precision: "f64",
+            shards: n,
+            wall_s: wall,
+            tasks: scale_sc.num_tasks,
+            events: r.events_processed,
+            makespan: r.makespan,
+            incomplete: r.incomplete,
+        });
+    }
 
     // No JSON crate is vendored; the schema is flat enough to format by
     // hand. `{:?}` on f64 prints a round-trippable representation.
@@ -237,11 +307,12 @@ fn main() {
     json.push_str("  \"schedulers\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"label\": \"{}\", \"precision\": \"{}\", \"wall_s\": {:?}, \
+            "    {{ \"label\": \"{}\", \"precision\": \"{}\", \"shards\": {}, \"wall_s\": {:?}, \
              \"tasks_per_s\": {:?}, \
              \"events_per_s\": {:?}, \"events\": {}, \"makespan\": {:?}, \"incomplete\": {} }}{}\n",
             r.label,
             r.precision,
+            r.shards,
             r.wall_s,
             r.tasks as f64 / r.wall_s,
             r.events as f64 / r.wall_s,

@@ -82,6 +82,30 @@ impl Scenario {
         }
     }
 
+    /// The datacenter-scale platform of the sharded-engine scaling study:
+    /// 100 resource sites of 180–190 nodes × 5–6 processors, ≈100 k
+    /// processors in total. One site is one shard, so this is the shape
+    /// the `--shards` flag and the throughput benchmark's sharded rows
+    /// exercise.
+    pub fn scaling_platform() -> PlatformSpec {
+        PlatformSpec {
+            num_sites: 100,
+            nodes_per_site: (180, 190),
+            procs_per_node: (5, 6),
+            ..PlatformSpec::paper(100)
+        }
+    }
+
+    /// The 100-site scaling scenario: [`Self::scaling_platform`] under
+    /// the given offered load. Pass `num_tasks ≥ 1_000_000` for the
+    /// roadmap's headline configuration.
+    pub fn scaling(seed: u64, num_tasks: usize, offered_load: f64) -> Self {
+        Scenario {
+            platform: Self::scaling_platform(),
+            ..Scenario::new(seed, num_tasks, offered_load)
+        }
+    }
+
     /// Generates the platform.
     pub fn build_platform(&self) -> Platform {
         Platform::generate(

@@ -213,13 +213,80 @@ fn run_scenario_with(
     }
 }
 
+/// Runs one scenario under one policy on the sharded parallel engine
+/// ([`platform::run_sharded`]): every resource site becomes an
+/// independent shard (own event queue, own scheduler instance with a
+/// deterministically derived RNG stream), advanced by `shards` worker
+/// threads between deterministic epoch barriers. Results are
+/// bit-identical for every `shards` value; pass
+/// [`platform::auto_shards`] of the site count for `--shards auto`.
+///
+/// Shard scheduler construction mirrors [`run_scenario`]'s seeding: the
+/// scenario seed is masked per policy by `with_seed`, then the
+/// Adaptive-RL shard for site `g` draws the exact per-agent stream the
+/// sequential engine would (`derive_indexed("agent", g)`), while each
+/// baseline's per-site config seed derives via
+/// `derive_indexed("shard-site", g)`.
+pub fn run_sharded(scenario: &Scenario, kind: &SchedulerKind, shards: usize) -> RunResult {
+    let (platform, tasks) = scenario.build();
+    let sites = platform.num_sites();
+    let exec = scenario.exec;
+    match kind.with_seed(scenario.seed) {
+        SchedulerKind::Adaptive(cfg) => {
+            let f = move |g: usize| AdaptiveRl::for_shard(g, sites, cfg);
+            platform::run_sharded(platform, tasks, exec, shards, &f)
+        }
+        SchedulerKind::Online(cfg) => {
+            let f = move |g: usize| {
+                let mut c = cfg;
+                c.seed = shard_site_seed(cfg.seed, g);
+                OnlineRl::new(1, c)
+            };
+            platform::run_sharded(platform, tasks, exec, shards, &f)
+        }
+        SchedulerKind::QPlus(cfg) => {
+            let f = move |g: usize| {
+                let mut c = cfg;
+                c.seed = shard_site_seed(cfg.seed, g);
+                QPlusLearning::new(1, c)
+            };
+            platform::run_sharded(platform, tasks, exec, shards, &f)
+        }
+        SchedulerKind::Prediction(cfg) => {
+            let f = move |g: usize| {
+                let mut c = cfg;
+                c.seed = shard_site_seed(cfg.seed, g);
+                PredictionBased::new(1, c)
+            };
+            platform::run_sharded(platform, tasks, exec, shards, &f)
+        }
+        SchedulerKind::RoundRobin => {
+            let f = |_g: usize| RoundRobin::new(1);
+            platform::run_sharded(platform, tasks, exec, shards, &f)
+        }
+        SchedulerKind::GreedyEdf => {
+            let f = |_g: usize| GreedyEdf::new(1);
+            platform::run_sharded(platform, tasks, exec, shards, &f)
+        }
+    }
+}
+
+/// Per-site seed for a baseline shard: an independent derived stream per
+/// `(policy-masked seed, global site)` pair.
+fn shard_site_seed(seed: u64, g: usize) -> u64 {
+    simcore::rng::RngStream::root(seed)
+        .derive_indexed("shard-site", g as u64)
+        .seed()
+}
+
 /// Runs `reps` replications (seeds `base_seed + i`), in parallel across
 /// available cores via crossbeam scoped threads. The fan-out is capped at
-/// the machine's available parallelism — each worker thread owns a
-/// contiguous, strided-free chunk of the replication indices instead of
-/// one thread per replication, so a 100-rep sweep no longer spawns 100
-/// simultaneous simulations. Results are returned in replication order,
-/// so aggregation stays deterministic regardless of scheduling.
+/// the machine's available parallelism — replication indices round-robin
+/// across worker threads (worker `c` runs `c, c + workers, …`) so
+/// heterogeneous-cost replications balance instead of one worker
+/// inheriting a contiguous block of slow seeds. Results are returned in
+/// replication order, so aggregation stays deterministic regardless of
+/// scheduling.
 pub fn run_replicated(scenario: &Scenario, kind: &SchedulerKind, reps: u32) -> Vec<RunResult> {
     run_replicated_with(scenario, kind, reps, None, None)
 }
@@ -266,16 +333,21 @@ fn run_replicated_with(
         .unwrap_or(1)
         .min(reps as usize);
     let mut slots: Vec<Option<RunResult>> = (0..reps).map(|_| None).collect();
-    // Ceil-divide so every replication lands in exactly one chunk.
-    let chunk = slots.len().div_ceil(workers);
+    // Round-robin replication indices across workers (worker `c` owns
+    // i ≡ c mod workers) so a run of expensive seeds spreads out instead
+    // of landing on one worker as a contiguous chunk.
+    let mut buckets: Vec<Vec<(usize, &mut Option<RunResult>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        buckets[i % workers].push((i, slot));
+    }
     crossbeam::thread::scope(|scope| {
-        for (c, block) in slots.chunks_mut(chunk).enumerate() {
+        for bucket in buckets {
             let kind = kind.clone();
             let rec = rec.cloned();
             let monitor = monitor.cloned();
             scope.spawn(move |_| {
-                for (j, slot) in block.iter_mut().enumerate() {
-                    let i = c * chunk + j;
+                for (i, slot) in bucket {
                     let mut sc = scenario.clone();
                     sc.seed = scenario.seed.wrapping_add(i as u64);
                     *slot = Some(match &monitor {
@@ -344,6 +416,39 @@ mod tests {
                 kind.label(),
                 r.outcome
             );
+        }
+    }
+
+    #[test]
+    fn replications_stay_in_replication_order() {
+        // Slot `i` must hold the run for seed `base + i` no matter how
+        // the round-robin workers interleave.
+        let sc = Scenario::small(7, 40, 0.5);
+        let kind = SchedulerKind::QPlus(QPlusConfig::default());
+        let runs = run_replicated(&sc, &kind, 5);
+        for (i, r) in runs.iter().enumerate() {
+            let mut sc_i = sc.clone();
+            sc_i.seed = sc.seed.wrapping_add(i as u64);
+            let solo = run_scenario(&sc_i, &kind);
+            if let Some(d) = platform::replay_divergence(r, &solo) {
+                panic!("replication {i} out of order: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_is_thread_count_invariant() {
+        let sc = Scenario::small(11, 60, 0.5);
+        for kind in [
+            SchedulerKind::Adaptive(AdaptiveRlConfig::default()),
+            SchedulerKind::RoundRobin,
+        ] {
+            let one = run_sharded(&sc, &kind, 1);
+            let many = run_sharded(&sc, &kind, 3);
+            if let Some(d) = platform::replay_divergence(&one, &many) {
+                panic!("{} diverges across shard counts: {d}", kind.label());
+            }
+            assert_eq!(one.incomplete, 0, "{} left tasks behind", kind.label());
         }
     }
 

@@ -1730,10 +1730,24 @@ impl ExecEngine {
 /// shared back half of [`ExecEngine::run_traced`] and the resume path in
 /// [`crate::checkpoint`].
 pub(crate) fn assemble_result<S: Scheduler>(
+    driver: Driver<'_, S>,
+    outcome: RunOutcome,
+    events_processed: u64,
+    max_queue_occupancy: usize,
+) -> RunResult {
+    assemble_result_at(driver, outcome, events_processed, max_queue_occupancy, None)
+}
+
+/// [`assemble_result`] with an optional energy/utilisation horizon
+/// override. Sharded runs finalise every shard at the *global* horizon —
+/// the instant the last shard settled — so per-site energy integrals sum
+/// to the whole cluster's draw over one common interval.
+pub(crate) fn assemble_result_at<S: Scheduler>(
     mut driver: Driver<'_, S>,
     outcome: RunOutcome,
     events_processed: u64,
     max_queue_occupancy: usize,
+    horizon_override: Option<SimTime>,
 ) -> RunResult {
     let total_procs = driver.platform.num_processors();
     let total_mips: f64 = driver
@@ -1762,11 +1776,11 @@ pub(crate) fn assemble_result<S: Scheduler>(
     // Unresolved runs (`Stopped`/`FuseBlown`) read at the makespan as
     // before.
     let resolved_all = !driver.tasks.is_empty() && driver.resolved() == driver.tasks.len();
-    let horizon = if resolved_all {
+    let horizon = horizon_override.unwrap_or(if resolved_all {
         driver.settled_at.max(makespan)
     } else {
         makespan
-    };
+    });
     let total_energy = driver.platform.total_energy_at(horizon);
     let mean_utilisation = driver.platform.mean_utilisation_at(horizon);
     let audit = driver.oracle.take().map(|o| {

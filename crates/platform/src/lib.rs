@@ -25,7 +25,9 @@
 //! * [`oracle`] — the correctness oracle: conservation invariants, shadow
 //!   energy accounting, post-hoc result audits and replay-determinism
 //!   checks,
-//! * [`engine`] — the simulation driver producing a [`RunResult`].
+//! * [`engine`] — the simulation driver producing a [`RunResult`],
+//! * [`shard`] — the sharded parallel engine: per-site shards advanced by
+//!   worker threads between deterministic epoch barriers.
 
 #![warn(missing_docs)]
 
@@ -43,6 +45,7 @@ pub mod processor;
 pub mod queue;
 pub mod scheduler;
 pub mod session;
+pub mod shard;
 pub mod topology;
 pub mod view;
 
@@ -56,7 +59,8 @@ pub use node::ComputeNode;
 pub use oracle::{audit_result, replay_divergence, AuditReport, Oracle, Violation};
 pub use power::PowerParams;
 pub use processor::{ProcState, Processor};
-pub use scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler};
+pub use scheduler::{AssignmentFeedback, Command, GroupFeedback, Scheduler, SyncRecord};
 pub use session::{ScheduleSession, SessionEvent};
+pub use shard::{auto_shards, run_sharded};
 pub use topology::{Platform, PlatformSpec, SiteStats};
 pub use view::{NodeView, PlatformView};

@@ -116,6 +116,36 @@ impl GroupFeedback {
     }
 }
 
+/// One cross-shard state-synchronisation record exchanged at a sharded
+/// run's epoch barriers (see [`crate::shard`]).
+///
+/// Records are merged across shards and applied in the canonical
+/// `(time, seq, site)` order, so the payload's meaning is entirely up to
+/// the scheduler — the engine only routes and orders them. The payload is
+/// four raw words; schedulers pack their own wire format (the Adaptive-RL
+/// policy packs one shared-learning-memory experience per record).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncRecord {
+    /// Simulation time the record was produced at.
+    pub time: SimTime,
+    /// Producer-local sequence number (ties within one site's epoch).
+    pub seq: u64,
+    /// Global site id of the producing shard.
+    pub site: u32,
+    /// Scheduler-defined payload words.
+    pub payload: [u64; 4],
+}
+
+impl SyncRecord {
+    /// The canonical cross-shard ordering key: `(time, seq, site)`.
+    /// Total over NaN-free times; sharded runs never produce NaN times.
+    pub fn key(&self) -> (u64, u64, u32) {
+        // total_cmp-equivalent bit trick is unnecessary: sim times are
+        // non-negative finite, so raw bit order equals numeric order.
+        (self.time.as_f64().to_bits(), self.seq, self.site)
+    }
+}
+
 /// A task-scheduling policy driven by the execution engine.
 pub trait Scheduler {
     /// Human-readable policy name (used in reports and figure legends).
@@ -160,6 +190,17 @@ pub trait Scheduler {
     fn on_tick(&mut self, _now: SimTime, _view: &PlatformView<'_>) -> Vec<Command> {
         Vec::new()
     }
+
+    /// Drains the cross-shard synchronisation records this scheduler
+    /// produced since the last drain into `out` (sharded runs call this at
+    /// every epoch barrier). The default produces nothing — policies with
+    /// no cross-site learning state need no sync traffic.
+    fn drain_sync(&mut self, _out: &mut Vec<SyncRecord>) {}
+
+    /// Applies one *foreign* shard's synchronisation record (records are
+    /// delivered in the canonical `(time, seq, site)` order at the epoch
+    /// barrier). The default ignores it.
+    fn apply_sync(&mut self, _rec: &SyncRecord) {}
 
     /// The policy's current exploration rate, for live monitoring and the
     /// time-series sampler. `None` (the default) for policies that do not
